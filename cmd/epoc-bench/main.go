@@ -1,0 +1,70 @@
+// Command epoc-bench regenerates every table and figure of the EPOC
+// paper's evaluation section on the simulated device:
+//
+//	-fig5    ZX depth optimization over 34 random circuits (+ VQE)
+//	-figs    Figures 8, 9, 10: latency / compile time / fidelity with
+//	         vs without the regrouping step, on 17 benchmarks
+//	-table1  Gate-based vs PAQOC-style vs EPOC on the 7 Table-1 circuits
+//	-scale   160-qubit feasibility run (§4)
+//	-ablate  design-choice ablations (partition size, library, ZX, dt)
+//	-all     everything above
+//
+// Absolute nanoseconds differ from the paper's IBM-calibrated numbers
+// (this is a simulated device; see DESIGN.md); the comparisons and the
+// printed percentage reductions are the reproduction targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		fig5    = flag.Bool("fig5", false, "run the Figure 5 ZX study")
+		figs    = flag.Bool("figs", false, "run Figures 8-10 (grouping study)")
+		table1  = flag.Bool("table1", false, "run Table 1 (strategy comparison)")
+		scale   = flag.Bool("scale", false, "run the 160-qubit feasibility test")
+		hitrate = flag.Bool("hitrate", false, "run the pulse-library hit-rate study")
+		ablate  = flag.Bool("ablate", false, "run design-choice ablations")
+		all     = flag.Bool("all", false, "run everything")
+		mode    = flag.String("mode", "full", "full (GRAPE) | estimate — QOC mode for figs/table1")
+	)
+	flag.Parse()
+
+	full := *mode == "full"
+	if *mode != "full" && *mode != "estimate" {
+		fmt.Fprintf(os.Stderr, "epoc-bench: unknown -mode %q\n", *mode)
+		os.Exit(1)
+	}
+	any := false
+	if *fig5 || *all {
+		runFig5()
+		any = true
+	}
+	if *figs || *all {
+		runGroupingStudy(full)
+		any = true
+	}
+	if *table1 || *all {
+		runTable1(full)
+		any = true
+	}
+	if *scale || *all {
+		runScale()
+		any = true
+	}
+	if *hitrate || *all {
+		runHitRate()
+		any = true
+	}
+	if *ablate || *all {
+		runAblations(full)
+		any = true
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,130 @@
+// Command epoc compiles an OpenQASM 2.0 program into a pulse schedule
+// with a selectable strategy and prints latency, fidelity and stage
+// statistics.
+//
+// Usage:
+//
+//	epoc -in circuit.qasm [-strategy epoc] [-mode full] [-schedule]
+//	epoc -bench ghz [-strategy gate-based]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"epoc/internal/benchcirc"
+	"epoc/internal/circuit"
+	"epoc/internal/core"
+	"epoc/internal/hardware"
+	"epoc/internal/qasm"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input OpenQASM 2.0 file ('-' for stdin)")
+		bench    = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
+		strategy = flag.String("strategy", "epoc", "gate-based | accqoc | paqoc | epoc-nogroup | epoc")
+		mode     = flag.String("mode", "full", "full (GRAPE) | estimate (calibrated model)")
+		schedule = flag.Bool("schedule", false, "print the pulse timeline")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+		jsonOut  = flag.String("json", "", "write the pulse schedule as JSON to this file ('-' for stdout)")
+		grape    = flag.Int("grape-iters", 200, "GRAPE iteration budget")
+		workers  = flag.Int("workers", 1, "parallel QOC workers")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*in, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{
+		Strategy:   core.Strategy(*strategy),
+		Device:     hardware.LinearChain(c.NumQubits),
+		GRAPEIters: *grape,
+		Workers:    *workers,
+	}
+	switch *mode {
+	case "full":
+		opts.Mode = core.QOCFull
+	case "estimate":
+		opts.Mode = core.QOCEstimate
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	res, err := core.Compile(c, opts)
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("strategy:      %s\n", res.Strategy)
+	fmt.Printf("qubits:        %d\n", c.NumQubits)
+	fmt.Printf("gates:         %d (depth %d)\n", st.GatesBefore, st.DepthBefore)
+	if st.DepthAfterZX != 0 {
+		fmt.Printf("after ZX:      %d gates (depth %d)\n", st.GatesAfterZX, st.DepthAfterZX)
+	}
+	if st.Blocks != 0 {
+		fmt.Printf("blocks:        %d (synth fallbacks %d)\n", st.Blocks, st.SynthFallback)
+	}
+	if st.VUGs != 0 || st.CNOTsAfter != 0 {
+		fmt.Printf("synthesized:   %d VUGs + %d CNOTs\n", st.VUGs, st.CNOTsAfter)
+	}
+	fmt.Printf("pulses:        %d (QOC runs %d, library %d hits / %d misses)\n",
+		st.PulseCount, st.QOCRuns, st.LibraryHits, st.LibraryMisses)
+	fmt.Printf("latency:       %.1f ns\n", res.Latency)
+	fmt.Printf("fidelity:      %.5f\n", res.Fidelity)
+	fmt.Printf("compile time:  %s\n", res.CompileTime)
+	if *schedule {
+		fmt.Print(res.Schedule.String())
+	}
+	if *gantt {
+		fmt.Print(res.Schedule.Gantt(100))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res.Schedule, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut == "-" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadCircuit(in, bench string) (*circuit.Circuit, error) {
+	switch {
+	case bench != "":
+		return benchcirc.Get(bench)
+	case in == "-":
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := qasm.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	case in != "":
+		src, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := qasm.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return prog.Circuit, nil
+	}
+	return nil, fmt.Errorf("one of -in or -bench is required (benchmarks: %v)", benchcirc.Names())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "epoc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package epoc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	prog, err := ParseQASM(`
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(prog.Circuit, CompileOptions{
+		Strategy: StrategyEPOC,
+		Device:   LinearDevice(2),
+		Mode:     QOCEstimate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency <= 0 || res.Fidelity <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestNewGateValidation(t *testing.T) {
+	if _, err := NewGate("h"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGate("rz", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGate("rz"); err == nil {
+		t.Fatal("expected param error")
+	}
+	if _, err := NewGate("nope"); err == nil {
+		t.Fatal("expected unknown-gate error")
+	}
+}
+
+func TestBuildCircuitByHand(t *testing.T) {
+	c := NewCircuit(2)
+	h, _ := NewGate("h")
+	cx, _ := NewGate("cx")
+	c.Append(h, 0)
+	c.Append(cx, 0, 1)
+	out, err := WriteQASM(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cx q[0],q[1];") {
+		t.Fatalf("qasm output:\n%s", out)
+	}
+}
+
+func TestBenchmarkAccess(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 17 {
+		t.Fatalf("got %d benchmarks", len(names))
+	}
+	for _, n := range names {
+		if _, err := Benchmark(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if _, err := Benchmark("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDepthOptimizeNeverHurts(t *testing.T) {
+	c, _ := Benchmark("vqe")
+	opt := DepthOptimize(c)
+	if opt.Depth() > c.Depth() {
+		t.Fatalf("DepthOptimize increased depth: %d -> %d", c.Depth(), opt.Depth())
+	}
+}
+
+func TestStrategiesList(t *testing.T) {
+	ss := Strategies()
+	if len(ss) != 5 || ss[0] != StrategyGateBased || ss[4] != StrategyEPOC {
+		t.Fatalf("strategies: %v", ss)
+	}
+}
+
+func TestSharedLibraryAcrossCompiles(t *testing.T) {
+	lib := NewPulseLibrary(true)
+	c, _ := Benchmark("ghz")
+	opts := CompileOptions{Strategy: StrategyEPOC, Device: LinearDevice(c.NumQubits), Mode: QOCEstimate, Library: lib}
+	if _, err := Compile(c, opts); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() == 0 {
+		t.Fatal("library not populated")
+	}
+}

@@ -1,0 +1,105 @@
+package epoc_test
+
+import (
+	"fmt"
+
+	"epoc"
+	"epoc/internal/core"
+)
+
+// ExampleParseQASM parses OpenQASM 2.0 source and inspects the circuit.
+func ExampleParseQASM() {
+	prog, err := epoc.ParseQASM(`
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(prog.Circuit.NumQubits, "qubits,", prog.Circuit.Len(), "gates, depth", prog.Circuit.Depth())
+	// Output: 2 qubits, 2 gates, depth 2
+}
+
+// ExampleCompile lowers a Bell circuit to pulses with the gate-based
+// baseline, whose calibrated latencies are deterministic.
+func ExampleCompile() {
+	c := epoc.NewCircuit(2)
+	h, _ := epoc.NewGate("h")
+	cx, _ := epoc.NewGate("cx")
+	c.Append(h, 0)
+	c.Append(cx, 0, 1)
+
+	res, err := epoc.Compile(c, epoc.CompileOptions{
+		Strategy: epoc.StrategyGateBased,
+		Device:   epoc.LinearDevice(2),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("latency %.1f ns, %d pulses\n", res.Latency, res.Stats.PulseCount)
+	// Output: latency 335.5 ns, 2 pulses
+}
+
+// ExampleDepthOptimize shows the graph-based (ZX) depth optimization
+// stage cancelling a redundant structure.
+func ExampleDepthOptimize() {
+	c := epoc.NewCircuit(2)
+	h, _ := epoc.NewGate("h")
+	cx, _ := epoc.NewGate("cx")
+	s, _ := epoc.NewGate("s")
+	sdg, _ := epoc.NewGate("sdg")
+	c.Append(h, 0)
+	c.Append(s, 0)
+	c.Append(sdg, 0) // cancels with s
+	c.Append(h, 0)   // cancels with h
+	c.Append(cx, 0, 1)
+
+	opt := epoc.DepthOptimize(c)
+	fmt.Println("depth", c.Depth(), "->", opt.Depth())
+	// Output: depth 5 -> 1
+}
+
+// ExampleCompile_strategies compares strategies on the same workload
+// using the deterministic calibrated-estimate QOC mode.
+func ExampleCompile_strategies() {
+	c, _ := epoc.Benchmark("ghz")
+	dev := epoc.LinearDevice(c.NumQubits)
+	for _, s := range []epoc.Strategy{epoc.StrategyGateBased, epoc.StrategyEPOC} {
+		res, err := epoc.Compile(c, epoc.CompileOptions{
+			Strategy: s,
+			Device:   dev,
+			Mode:     core.QOCEstimate,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %.1f ns\n", s, res.Latency)
+	}
+	// Output:
+	// gate-based: 2135.5 ns
+	// epoc: 784.0 ns
+}
+
+// ExampleNewPulseLibrary shows pulse reuse across compilations.
+func ExampleNewPulseLibrary() {
+	lib := epoc.NewPulseLibrary(true)
+	c, _ := epoc.Benchmark("ghz")
+	opts := epoc.CompileOptions{
+		Strategy: epoc.StrategyEPOC,
+		Device:   epoc.LinearDevice(c.NumQubits),
+		Mode:     core.QOCEstimate,
+		Library:  lib,
+	}
+	if _, err := epoc.Compile(c, opts); err != nil {
+		panic(err)
+	}
+	missesAfterFirst := lib.Misses
+	if _, err := epoc.Compile(c, opts); err != nil {
+		panic(err)
+	}
+	fmt.Println("new misses on recompile:", lib.Misses-missesAfterFirst)
+	// Output: new misses on recompile: 0
+}

@@ -1,0 +1,53 @@
+// Quickstart: parse a small OpenQASM program, compile it with the full
+// EPOC pipeline (real GRAPE pulses), and compare against the
+// gate-based baseline.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"epoc"
+)
+
+const src = `
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+rz(pi/4) q[2];
+cx q[1],q[2];
+cx q[0],q[1];
+h q[0];
+`
+
+func main() {
+	prog, err := epoc.ParseQASM(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := prog.Circuit
+	dev := epoc.LinearDevice(c.NumQubits)
+	fmt.Printf("input: %d qubits, %d gates, depth %d\n\n", c.NumQubits, c.Len(), c.Depth())
+
+	for _, strategy := range []epoc.Strategy{epoc.StrategyGateBased, epoc.StrategyEPOC} {
+		res, err := epoc.Compile(c, epoc.CompileOptions{Strategy: strategy, Device: dev})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s latency %7.1f ns   fidelity %.5f   pulses %2d   compile %s\n",
+			strategy, res.Latency, res.Fidelity, res.Stats.PulseCount, res.CompileTime.Round(1e6))
+	}
+
+	// Inspect the EPOC pulse schedule in detail.
+	res, err := epoc.Compile(c, epoc.CompileOptions{Strategy: epoc.StrategyEPOC, Device: dev})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(res.Schedule.String())
+}

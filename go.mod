@@ -1,0 +1,3 @@
+module epoc
+
+go 1.22

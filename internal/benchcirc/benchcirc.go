@@ -1,0 +1,469 @@
+// Package benchcirc generates the benchmark circuits used by the
+// evaluation: Go constructions of the 17 QASMBench-style programs the
+// paper reports on (simon, bb84, bv, qaoa, decod24, dnn, ham7, ghz,
+// qft, adder, vqe, wstate, grover, qpe, toffoli, fredkin, ising) plus
+// seeded random circuits for the ZX-optimization study (Figure 5).
+package benchcirc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+)
+
+// Generator builds a named benchmark circuit.
+type Generator func() *circuit.Circuit
+
+// registry maps benchmark names to generators.
+var registry = map[string]Generator{
+	"simon":   Simon,
+	"bb84":    BB84,
+	"bv":      BV,
+	"qaoa":    QAOA,
+	"decod24": Decod24,
+	"dnn":     DNN,
+	"ham7":    Ham7,
+	"ghz":     GHZ8,
+	"qft":     QFT5,
+	"adder":   Adder,
+	"vqe":     VQE,
+	"wstate":  WState,
+	"grover":  Grover,
+	"qpe":     QPE,
+	"toffoli": Toffoli,
+	"fredkin": Fredkin,
+	"ising":   Ising,
+}
+
+// Names returns all benchmark names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table1Names returns the seven circuits of the paper's Table 1 in
+// paper order.
+func Table1Names() []string {
+	return []string{"simon", "bb84", "bv", "qaoa", "decod24", "dnn", "ham7"}
+}
+
+// Get returns the named benchmark from the paper set or the extended
+// set.
+func Get(name string) (*circuit.Circuit, error) {
+	if g, ok := registry[name]; ok {
+		return g(), nil
+	}
+	if g, ok := registryExtended[name]; ok {
+		return g(), nil
+	}
+	return nil, fmt.Errorf("benchcirc: unknown benchmark %q", name)
+}
+
+// Simon builds a 6-qubit Simon's-algorithm instance with secret 110:
+// Hadamards on the input register, an entangling oracle, Hadamards.
+func Simon() *circuit.Circuit {
+	c := circuit.New(6)
+	for q := 0; q < 3; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	// Oracle: copy inputs, then fold in the secret string s = 110.
+	for q := 0; q < 3; q++ {
+		c.Append(gate.New(gate.CX), q, q+3)
+	}
+	c.Append(gate.New(gate.CX), 0, 4)
+	c.Append(gate.New(gate.CX), 0, 5)
+	c.Append(gate.New(gate.X), 4)
+	for q := 0; q < 3; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	return c
+}
+
+// BB84 builds an 8-qubit BB84 state-preparation round: random-looking
+// but fixed bit/basis choices expressed with X and H gates.
+func BB84() *circuit.Circuit {
+	c := circuit.New(8)
+	bits := []int{1, 0, 1, 1, 0, 0, 1, 0}
+	bases := []int{0, 1, 1, 0, 1, 0, 0, 1}
+	for q := 0; q < 8; q++ {
+		if bits[q] == 1 {
+			c.Append(gate.New(gate.X), q)
+		}
+		if bases[q] == 1 {
+			c.Append(gate.New(gate.H), q)
+		}
+	}
+	// Receiving basis rotation.
+	for q := 0; q < 8; q++ {
+		if (q+bases[q])%2 == 0 {
+			c.Append(gate.New(gate.H), q)
+		}
+	}
+	return c
+}
+
+// BV builds a 6-qubit Bernstein-Vazirani circuit with secret 11010.
+func BV() *circuit.Circuit {
+	const n = 5
+	secret := []int{1, 1, 0, 1, 0}
+	c := circuit.New(n + 1)
+	c.Append(gate.New(gate.X), n)
+	c.Append(gate.New(gate.H), n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	for q := 0; q < n; q++ {
+		if secret[q] == 1 {
+			c.Append(gate.New(gate.CX), q, n)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	return c
+}
+
+// QAOA builds a depth-2 MaxCut QAOA on a 6-qubit ring.
+func QAOA() *circuit.Circuit {
+	const n = 6
+	c := circuit.New(n)
+	gammas := []float64{0.7, 1.2}
+	betas := []float64{0.4, 0.9}
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	for p := 0; p < 2; p++ {
+		for q := 0; q < n; q++ {
+			a, b := q, (q+1)%n
+			c.Append(gate.New(gate.CX), a, b)
+			c.Append(gate.New(gate.RZ, 2*gammas[p]), b)
+			c.Append(gate.New(gate.CX), a, b)
+		}
+		for q := 0; q < n; q++ {
+			c.Append(gate.New(gate.RX, 2*betas[p]), q)
+		}
+	}
+	return c
+}
+
+// Decod24 builds the 4-qubit 2-to-4 decoder benchmark (Clifford+T
+// style, as in RevLib/QASMBench decod24).
+func Decod24() *circuit.Circuit {
+	c := circuit.New(4)
+	c.Append(gate.New(gate.X), 0)
+	c.Append(gate.New(gate.CX), 0, 2)
+	c.Append(gate.New(gate.H), 3)
+	c.Append(gate.New(gate.T), 0)
+	c.Append(gate.New(gate.T), 2)
+	c.Append(gate.New(gate.T), 3)
+	c.Append(gate.New(gate.CX), 2, 0)
+	c.Append(gate.New(gate.CX), 3, 2)
+	c.Append(gate.New(gate.CX), 0, 3)
+	c.Append(gate.New(gate.Tdg), 2)
+	c.Append(gate.New(gate.CX), 0, 2)
+	c.Append(gate.New(gate.Tdg), 0)
+	c.Append(gate.New(gate.Tdg), 2)
+	c.Append(gate.New(gate.T), 3)
+	c.Append(gate.New(gate.CX), 3, 2)
+	c.Append(gate.New(gate.CX), 0, 3)
+	c.Append(gate.New(gate.CX), 2, 0)
+	c.Append(gate.New(gate.H), 3)
+	c.Append(gate.New(gate.CX), 1, 3)
+	c.Append(gate.New(gate.X), 1)
+	return c
+}
+
+// DNN builds an 8-qubit "quantum neural network" ansatz: three layers
+// of parameterized RY/RZ rotations with CZ-ladder entanglement.
+func DNN() *circuit.Circuit {
+	const n = 8
+	c := circuit.New(n)
+	rng := rand.New(rand.NewSource(42))
+	for layer := 0; layer < 3; layer++ {
+		for q := 0; q < n; q++ {
+			c.Append(gate.New(gate.RY, rng.Float64()*math.Pi), q)
+			c.Append(gate.New(gate.RZ, rng.Float64()*math.Pi), q)
+		}
+		for q := 0; q < n-1; q++ {
+			c.Append(gate.New(gate.CZ), q, q+1)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.RY, rng.Float64()*math.Pi), q)
+	}
+	return c
+}
+
+// Ham7 builds the 7-qubit Hamming(7,4) encoder/decoder benchmark.
+func Ham7() *circuit.Circuit {
+	c := circuit.New(7)
+	// Prepare a data word.
+	c.Append(gate.New(gate.X), 0)
+	c.Append(gate.New(gate.X), 2)
+	// Encode parity qubits.
+	for _, e := range [][2]int{{0, 4}, {1, 4}, {3, 4}, {0, 5}, {2, 5}, {3, 5}, {1, 6}, {2, 6}, {3, 6}} {
+		c.Append(gate.New(gate.CX), e[0], e[1])
+	}
+	// Inject an error and re-compute syndromes.
+	c.Append(gate.New(gate.X), 1)
+	for _, e := range [][2]int{{0, 4}, {1, 4}, {3, 4}, {0, 5}, {2, 5}, {3, 5}, {1, 6}, {2, 6}, {3, 6}} {
+		c.Append(gate.New(gate.CX), e[0], e[1])
+	}
+	// Correct using the syndrome.
+	c.Append(gate.New(gate.CCX), 4, 6, 1)
+	c.Append(gate.New(gate.CCX), 5, 6, 2)
+	c.Append(gate.New(gate.CCX), 4, 5, 0)
+	return c
+}
+
+// GHZ8 builds an 8-qubit GHZ preparation.
+func GHZ8() *circuit.Circuit {
+	const n = 8
+	c := circuit.New(n)
+	c.Append(gate.New(gate.H), 0)
+	for q := 0; q < n-1; q++ {
+		c.Append(gate.New(gate.CX), q, q+1)
+	}
+	return c
+}
+
+// QFT5 builds a 5-qubit quantum Fourier transform.
+func QFT5() *circuit.Circuit { return QFT(5) }
+
+// QFT builds an n-qubit quantum Fourier transform with final swaps
+// (little-endian: qubit 0 is the least-significant bit; the matrix
+// equals the DFT with ω = e^{2πi/2^n}).
+func QFT(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for q := n - 1; q >= 0; q-- {
+		c.Append(gate.New(gate.H), q)
+		for k := q - 1; k >= 0; k-- {
+			c.Append(gate.New(gate.CP, math.Pi/math.Pow(2, float64(q-k))), k, q)
+		}
+	}
+	for q := 0; q < n/2; q++ {
+		c.Append(gate.New(gate.SWAP), q, n-1-q)
+	}
+	return c
+}
+
+// Adder builds a 4-qubit ripple-carry adder stage (cuccaro style).
+func Adder() *circuit.Circuit {
+	c := circuit.New(4)
+	c.Append(gate.New(gate.X), 0)
+	c.Append(gate.New(gate.X), 1)
+	c.Append(gate.New(gate.CX), 0, 2)
+	c.Append(gate.New(gate.CX), 1, 2)
+	c.Append(gate.New(gate.CCX), 0, 1, 3)
+	c.Append(gate.New(gate.CX), 2, 3)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.CX), 1, 2)
+	return c
+}
+
+// VQE builds a deep 6-qubit UCCSD-style VQE ansatz: trotterized
+// Pauli-string exponentials with basis changes and CX ladders. The
+// shared ladders between consecutive terms are heavily redundant,
+// which is why the paper's extreme ZX-reduction example is a VQE
+// circuit.
+func VQE() *circuit.Circuit {
+	const n = 6
+	c := circuit.New(n)
+	rng := rand.New(rand.NewSource(7))
+	// Exponential of a Z...Z string over qubits [lo, hi] with X/Y basis
+	// changes on the endpoints, as UCCSD excitation terms produce.
+	term := func(lo, hi int, basisX bool, theta float64) {
+		if basisX {
+			c.Append(gate.New(gate.H), lo)
+			c.Append(gate.New(gate.H), hi)
+		} else {
+			c.Append(gate.New(gate.RX, math.Pi/2), lo)
+			c.Append(gate.New(gate.RX, math.Pi/2), hi)
+		}
+		for q := lo; q < hi; q++ {
+			c.Append(gate.New(gate.CX), q, q+1)
+		}
+		c.Append(gate.New(gate.RZ, theta), hi)
+		for q := hi - 1; q >= lo; q-- {
+			c.Append(gate.New(gate.CX), q, q+1)
+		}
+		if basisX {
+			c.Append(gate.New(gate.H), lo)
+			c.Append(gate.New(gate.H), hi)
+		} else {
+			c.Append(gate.New(gate.RX, -math.Pi/2), lo)
+			c.Append(gate.New(gate.RX, -math.Pi/2), hi)
+		}
+	}
+	for rep := 0; rep < 2; rep++ {
+		for lo := 0; lo < n-1; lo++ {
+			for hi := lo + 1; hi < n && hi < lo+3; hi++ {
+				term(lo, hi, true, rng.Float64()*2*math.Pi)
+				term(lo, hi, false, rng.Float64()*2*math.Pi)
+			}
+		}
+	}
+	return c
+}
+
+// WState builds a 4-qubit W-state preparation.
+func WState() *circuit.Circuit {
+	c := circuit.New(4)
+	theta := func(k int) float64 { return 2 * math.Acos(math.Sqrt(1.0/float64(k))) }
+	c.Append(gate.New(gate.RY, theta(4)), 0)
+	c.Append(gate.New(gate.CRY, theta(3)), 0, 1)
+	c.Append(gate.New(gate.CRY, theta(2)), 1, 2)
+	c.Append(gate.New(gate.CX), 2, 3)
+	c.Append(gate.New(gate.CX), 1, 2)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.X), 0)
+	return c
+}
+
+// Grover builds a 3-qubit Grover search (two iterations, marked state
+// |101⟩) using CCZ = H·CCX·H oracles.
+func Grover() *circuit.Circuit {
+	const n = 3
+	c := circuit.New(n)
+	ccz := func() {
+		c.Append(gate.New(gate.H), 2)
+		c.Append(gate.New(gate.CCX), 0, 1, 2)
+		c.Append(gate.New(gate.H), 2)
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	for it := 0; it < 2; it++ {
+		// Oracle: phase-flip |101⟩ (flip q1 around a CCZ).
+		c.Append(gate.New(gate.X), 1)
+		ccz()
+		c.Append(gate.New(gate.X), 1)
+		// Diffusion about the mean.
+		for q := 0; q < n; q++ {
+			c.Append(gate.New(gate.H), q)
+			c.Append(gate.New(gate.X), q)
+		}
+		ccz()
+		for q := 0; q < n; q++ {
+			c.Append(gate.New(gate.X), q)
+			c.Append(gate.New(gate.H), q)
+		}
+	}
+	return c
+}
+
+// QPE builds a 5-qubit quantum phase estimation of a Z-rotation.
+func QPE() *circuit.Circuit {
+	const counting = 4
+	c := circuit.New(counting + 1)
+	c.Append(gate.New(gate.X), counting) // eigenstate |1>
+	for q := 0; q < counting; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	phase := 2 * math.Pi * 0.3125
+	for q := 0; q < counting; q++ {
+		reps := 1 << q
+		c.Append(gate.New(gate.CP, phase*float64(reps)), q, counting)
+	}
+	// Inverse QFT on the counting register.
+	for _, op := range QFT(counting).Inverse().Ops {
+		c.AppendOp(op)
+	}
+	return c
+}
+
+// Toffoli builds a 3-qubit Toffoli cascade.
+func Toffoli() *circuit.Circuit {
+	c := circuit.New(3)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.H), 1)
+	c.Append(gate.New(gate.CCX), 0, 1, 2)
+	c.Append(gate.New(gate.X), 0)
+	c.Append(gate.New(gate.CCX), 0, 2, 1)
+	return c
+}
+
+// Fredkin builds a 3-qubit controlled-swap benchmark.
+func Fredkin() *circuit.Circuit {
+	c := circuit.New(3)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.X), 1)
+	c.Append(gate.New(gate.CSWP), 0, 1, 2)
+	c.Append(gate.New(gate.H), 0)
+	return c
+}
+
+// Ising builds a 6-qubit trotterized transverse-field Ising evolution
+// (3 Trotter steps).
+func Ising() *circuit.Circuit {
+	const n = 6
+	c := circuit.New(n)
+	dt := 0.35
+	for step := 0; step < 3; step++ {
+		for q := 0; q < n-1; q++ {
+			c.Append(gate.New(gate.RZZ, 2*dt), q, q+1)
+		}
+		for q := 0; q < n; q++ {
+			c.Append(gate.New(gate.RX, 2*0.8*dt), q)
+		}
+	}
+	return c
+}
+
+// RandomCircuit builds a seeded random circuit, the population used
+// for the Figure 5 ZX study. The gate mix mirrors compiled benchmark
+// programs: Clifford-dominated with a sprinkling of T and arbitrary
+// Z-rotations.
+func RandomCircuit(n, depth int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	clifford := []gate.Kind{gate.H, gate.S, gate.Sdg, gate.X, gate.Z}
+	for c.Depth() < depth {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			c.Append(gate.New(clifford[rng.Intn(len(clifford))]), rng.Intn(n))
+		case 4:
+			if rng.Intn(2) == 0 {
+				c.Append(gate.New(gate.T), rng.Intn(n))
+			} else {
+				c.Append(gate.New(gate.RZ, rng.Float64()*2*math.Pi), rng.Intn(n))
+			}
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			if rng.Intn(2) == 0 {
+				c.Append(gate.New(gate.CX), a, b)
+			} else {
+				c.Append(gate.New(gate.CZ), a, b)
+			}
+		}
+	}
+	return c
+}
+
+// RandomLayered builds a wide, deep brickwork circuit used for the
+// 160-qubit scalability experiment: alternating single-qubit rotation
+// layers and nearest-neighbour CX brick layers.
+func RandomLayered(n, layers int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.Append(gate.New(gate.RZ, rng.Float64()*2*math.Pi), q)
+			c.Append(gate.New(gate.RX, rng.Float64()*math.Pi), q)
+		}
+		off := l % 2
+		for q := off; q+1 < n; q += 2 {
+			c.Append(gate.New(gate.CX), q, q+1)
+		}
+	}
+	return c
+}

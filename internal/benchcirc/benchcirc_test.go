@@ -1,0 +1,164 @@
+package benchcirc
+
+import (
+	"math"
+	"testing"
+
+	"epoc/internal/gate"
+	"epoc/internal/sim"
+)
+
+func TestAllBenchmarksBuild(t *testing.T) {
+	for _, name := range Names() {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Len() == 0 {
+			t.Errorf("%s: empty circuit", name)
+		}
+		if c.NumQubits < 3 {
+			t.Errorf("%s: only %d qubits", name, c.NumQubits)
+		}
+		if c.Depth() == 0 {
+			t.Errorf("%s: zero depth", name)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTable1NamesAreKnown(t *testing.T) {
+	names := Table1Names()
+	if len(names) != 7 {
+		t.Fatalf("table 1 has %d circuits", len(names))
+	}
+	for _, n := range names {
+		if _, err := Get(n); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestSeventeenBenchmarks(t *testing.T) {
+	if len(Names()) != 17 {
+		t.Fatalf("expected 17 benchmarks (paper evaluates 17), got %d", len(Names()))
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	s := sim.RunCircuit(GHZ8())
+	inv := 1 / math.Sqrt2
+	if math.Abs(math.Abs(real(s.Amp[0]))-inv) > 1e-9 || math.Abs(math.Abs(real(s.Amp[(1<<8)-1]))-inv) > 1e-9 {
+		t.Fatal("GHZ8 did not prepare a GHZ state")
+	}
+}
+
+func TestWStatePreparation(t *testing.T) {
+	s := sim.RunCircuit(WState())
+	// W state: equal weight on |0001>, |0010>, |0100>, |1000>.
+	for _, idx := range []int{1, 2, 4, 8} {
+		if math.Abs(s.Probability(idx)-0.25) > 1e-9 {
+			t.Fatalf("W amplitude at %d: %v", idx, s.Probability(idx))
+		}
+	}
+}
+
+func TestBVRecoversSecret(t *testing.T) {
+	s := sim.RunCircuit(BV())
+	// After BV, the input register holds the secret 11010 (q0..q4) with
+	// certainty; the ancilla is in |->.
+	secret := 0
+	for i, b := range []int{1, 1, 0, 1, 0} {
+		if b == 1 {
+			secret |= 1 << i
+		}
+	}
+	p := s.Probability(secret) + s.Probability(secret|(1<<5))
+	if math.Abs(p-1) > 1e-9 {
+		t.Fatalf("BV secret probability %v", p)
+	}
+}
+
+func TestQFTOnBasisState(t *testing.T) {
+	// QFT|0...0> = uniform superposition.
+	s := sim.RunCircuit(QFT(4))
+	for i := 0; i < 16; i++ {
+		if math.Abs(s.Probability(i)-1.0/16) > 1e-9 {
+			t.Fatalf("QFT|0> not uniform at %d: %v", i, s.Probability(i))
+		}
+	}
+}
+
+func TestGroverAmplifiesMarkedState(t *testing.T) {
+	s := sim.RunCircuit(Grover())
+	// Marked state |101⟩: q0=1, q1=0, q2=1 → index 5.
+	marked := s.Probability(5)
+	if marked < 0.9 {
+		t.Fatalf("Grover marked-state probability %v", marked)
+	}
+}
+
+func TestQPEEstimatesPhase(t *testing.T) {
+	s := sim.RunCircuit(QPE())
+	// Phase 0.3125 = 5/16 → counting register should read 5 exactly.
+	p := 0.0
+	for anc := 0; anc < 2; anc++ {
+		p += s.Probability(5 | anc<<4)
+	}
+	if p < 0.99 {
+		t.Fatalf("QPE probability of correct phase %v", p)
+	}
+}
+
+func TestSimonOracleStructure(t *testing.T) {
+	c := Simon()
+	if c.CountKind(gate.CX) < 4 {
+		t.Fatal("simon oracle too small")
+	}
+}
+
+func TestVQEIsDeep(t *testing.T) {
+	if VQE().Depth() < 20 {
+		t.Fatalf("VQE depth %d too shallow for the ZX study", VQE().Depth())
+	}
+}
+
+func TestRandomCircuitReachesDepth(t *testing.T) {
+	c := RandomCircuit(5, 40, 3)
+	if c.Depth() < 40 {
+		t.Fatalf("random circuit depth %d < 40", c.Depth())
+	}
+	// Determinism.
+	c2 := RandomCircuit(5, 40, 3)
+	if c.Len() != c2.Len() {
+		t.Fatal("random circuit not deterministic for fixed seed")
+	}
+}
+
+func TestRandomLayeredShape(t *testing.T) {
+	c := RandomLayered(20, 4, 1)
+	if c.NumQubits != 20 {
+		t.Fatal("wrong width")
+	}
+	if c.CountKind(gate.CX) == 0 {
+		t.Fatal("no entanglement")
+	}
+	if c.Depth() < 8 {
+		t.Fatalf("depth %d too small", c.Depth())
+	}
+}
+
+func TestDeterministicGenerators(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Get(name)
+		b, _ := Get(name)
+		if a.Len() != b.Len() || a.Depth() != b.Depth() {
+			t.Fatalf("%s: non-deterministic generator", name)
+		}
+	}
+}

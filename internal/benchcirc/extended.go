@@ -1,0 +1,216 @@
+package benchcirc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+)
+
+// registryExtended holds benchmarks beyond the paper's 17-circuit
+// evaluation set: useful for wider regression coverage and for users
+// exploring the compiler, but excluded from the figure reproductions.
+var registryExtended = map[string]Generator{
+	"dj":        DeutschJozsa,
+	"qec5":      QECBitFlip,
+	"hs4":       HiddenShift,
+	"cc":        CounterfeitCoin,
+	"mult":      Multiplier,
+	"supremacy": Supremacy,
+	"teleport":  Teleport,
+	"qwalk":     QuantumWalk,
+}
+
+// ExtendedNames returns the extra benchmark names in sorted order.
+func ExtendedNames() []string {
+	out := make([]string, 0, len(registryExtended))
+	for name := range registryExtended {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllNames returns paper + extended benchmark names.
+func AllNames() []string {
+	out := append(Names(), ExtendedNames()...)
+	sort.Strings(out)
+	return out
+}
+
+// DeutschJozsa builds a 6-qubit Deutsch-Jozsa instance with a balanced
+// oracle f(x) = x0 ⊕ x2 ⊕ x4.
+func DeutschJozsa() *circuit.Circuit {
+	const n = 5
+	c := circuit.New(n + 1)
+	c.Append(gate.New(gate.X), n)
+	for q := 0; q <= n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	for _, q := range []int{0, 2, 4} {
+		c.Append(gate.New(gate.CX), q, n)
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	return c
+}
+
+// QECBitFlip builds the 3-qubit bit-flip code with two ancillas:
+// encode, inject an X error, syndrome-extract, correct, decode.
+func QECBitFlip() *circuit.Circuit {
+	c := circuit.New(5)
+	// Prepare an interesting data state.
+	c.Append(gate.New(gate.RY, 0.83), 0)
+	// Encode |ψ⟩ into qubits 0,1,2.
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.CX), 0, 2)
+	// Error: X on qubit 1.
+	c.Append(gate.New(gate.X), 1)
+	// Syndrome extraction onto ancillas 3,4.
+	c.Append(gate.New(gate.CX), 0, 3)
+	c.Append(gate.New(gate.CX), 1, 3)
+	c.Append(gate.New(gate.CX), 1, 4)
+	c.Append(gate.New(gate.CX), 2, 4)
+	// Correction: syndrome 11 on (3,4)? No — X on q1 gives s=(1,1)->
+	// here s3=1 (q0⊕q1), s4=1 (q1⊕q2) → flip q1.
+	c.Append(gate.New(gate.CCX), 3, 4, 1)
+	// Decode.
+	c.Append(gate.New(gate.CX), 0, 2)
+	c.Append(gate.New(gate.CX), 0, 1)
+	return c
+}
+
+// HiddenShift builds a 4-qubit Boolean hidden-shift instance with
+// shift 1010 and a CZ-based bent-function oracle.
+func HiddenShift() *circuit.Circuit {
+	const n = 4
+	shift := []int{0, 1, 0, 1}
+	c := circuit.New(n)
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	for q, s := range shift {
+		if s == 1 {
+			c.Append(gate.New(gate.X), q)
+		}
+	}
+	oracle := func() {
+		c.Append(gate.New(gate.CZ), 0, 1)
+		c.Append(gate.New(gate.CZ), 2, 3)
+	}
+	oracle()
+	for q, s := range shift {
+		if s == 1 {
+			c.Append(gate.New(gate.X), q)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	oracle()
+	for q := 0; q < n; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	return c
+}
+
+// CounterfeitCoin builds a 5-qubit counterfeit-coin finding instance
+// (4 coins + oracle ancilla, coin 2 counterfeit).
+func CounterfeitCoin() *circuit.Circuit {
+	const coins = 4
+	c := circuit.New(coins + 1)
+	anc := coins
+	for q := 0; q < coins; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	// Balance oracle: ancilla flips for the counterfeit coin.
+	c.Append(gate.New(gate.X), anc)
+	c.Append(gate.New(gate.H), anc)
+	c.Append(gate.New(gate.CX), 2, anc)
+	c.Append(gate.New(gate.H), anc)
+	c.Append(gate.New(gate.X), anc)
+	for q := 0; q < coins; q++ {
+		c.Append(gate.New(gate.H), q)
+	}
+	return c
+}
+
+// Multiplier builds a 2×2-bit quantum multiplier into a 3-bit product
+// register (7 qubits) from Toffolis and a ripple carry.
+func Multiplier() *circuit.Circuit {
+	// a = q0,q1; b = q2,q3; p = q4,q5,q6.
+	c := circuit.New(7)
+	// Load a = 3 (11), b = 2 (10).
+	c.Append(gate.New(gate.X), 0)
+	c.Append(gate.New(gate.X), 1)
+	c.Append(gate.New(gate.X), 3)
+	// Partial products.
+	c.Append(gate.New(gate.CCX), 0, 2, 4) // a0·b0 → p0
+	c.Append(gate.New(gate.CCX), 1, 2, 5) // a1·b0 → p1
+	c.Append(gate.New(gate.CCX), 0, 3, 5) // a0·b1 → p1 (carry ignored into p2 below)
+	c.Append(gate.New(gate.CCX), 1, 3, 6) // a1·b1 → p2
+	// Carry from the two p1 contributions.
+	c.Append(gate.New(gate.CCX), 5, 4, 6)
+	return c
+}
+
+// Supremacy builds a 6-qubit random-circuit-sampling style brickwork:
+// alternating sqrt-X/sqrt-Y/T layers with CZ bricks (Google style).
+func Supremacy() *circuit.Circuit {
+	const n = 6
+	rng := rand.New(rand.NewSource(12))
+	c := circuit.New(n)
+	oneQ := []gate.Kind{gate.SX, gate.T}
+	for layer := 0; layer < 8; layer++ {
+		for q := 0; q < n; q++ {
+			if rng.Intn(3) == 0 {
+				c.Append(gate.New(gate.RY, math.Pi/2), q)
+			} else {
+				c.Append(gate.New(oneQ[rng.Intn(len(oneQ))]), q)
+			}
+		}
+		off := layer % 2
+		for q := off; q+1 < n; q += 2 {
+			c.Append(gate.New(gate.CZ), q, q+1)
+		}
+	}
+	return c
+}
+
+// Teleport builds the unitary part of quantum teleportation (the
+// classically-controlled corrections become quantum-controlled).
+func Teleport() *circuit.Circuit {
+	c := circuit.New(3)
+	c.Append(gate.New(gate.U3, 0.62, 0.41, 0.27), 0) // payload
+	c.Append(gate.New(gate.H), 1)
+	c.Append(gate.New(gate.CX), 1, 2)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.CX), 1, 2)
+	c.Append(gate.New(gate.CZ), 0, 2)
+	return c
+}
+
+// QuantumWalk builds two steps of a coined quantum walk on a 4-node
+// cycle (2 position qubits + 1 coin).
+func QuantumWalk() *circuit.Circuit {
+	c := circuit.New(3)
+	coin := 2
+	step := func() {
+		c.Append(gate.New(gate.H), coin)
+		// Conditional increment (coin=1): +1 mod 4 on (q1 q0).
+		c.Append(gate.New(gate.CCX), coin, 0, 1)
+		c.Append(gate.New(gate.CX), coin, 0)
+		// Conditional decrement (coin=0): flip coin, subtract, flip back.
+		c.Append(gate.New(gate.X), coin)
+		c.Append(gate.New(gate.CX), coin, 0)
+		c.Append(gate.New(gate.CCX), coin, 0, 1)
+		c.Append(gate.New(gate.X), coin)
+	}
+	step()
+	step()
+	return c
+}

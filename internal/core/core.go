@@ -1,0 +1,234 @@
+// Package core implements the EPOC compilation pipeline — the paper's
+// primary contribution — and the baselines it is evaluated against:
+//
+//	gate-based    calibrated per-gate pulses, no QOC
+//	accqoc        AccQOC-style: fixed 2-qubit partitions + QOC + library
+//	paqoc         PAQOC-style: gate-level optimization, program-aware
+//	              3-qubit partitions + QOC + library
+//	epoc-nogroup  EPOC without the regrouping step (ablation: QOC is run
+//	              directly on the fine-grained synthesis output)
+//	epoc          full EPOC: ZX depth optimization → greedy partition →
+//	              VUG synthesis → regrouping → QOC with a global-phase-
+//	              aware pulse library
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"epoc/internal/circuit"
+	"epoc/internal/hardware"
+	"epoc/internal/pulse"
+	"epoc/internal/synth"
+)
+
+// Strategy selects a compilation flow.
+type Strategy string
+
+// Available strategies.
+const (
+	GateBased   Strategy = "gate-based"
+	AccQOC      Strategy = "accqoc"
+	PAQOC       Strategy = "paqoc"
+	EPOCNoGroup Strategy = "epoc-nogroup"
+	EPOC        Strategy = "epoc"
+)
+
+// Strategies lists all supported strategies in report order.
+func Strategies() []Strategy {
+	return []Strategy{GateBased, AccQOC, PAQOC, EPOCNoGroup, EPOC}
+}
+
+// QOCMode selects how block pulses are produced.
+type QOCMode int
+
+const (
+	// QOCFull runs GRAPE with a duration binary search per distinct
+	// block unitary (the paper's flow).
+	QOCFull QOCMode = iota
+	// QOCEstimate predicts pulse duration from the block's gate content
+	// with constants calibrated against GRAPE; used for scale studies
+	// where thousands of distinct blocks make full QOC impractical on
+	// one machine (see DESIGN.md substitutions).
+	QOCEstimate
+)
+
+// Options configures Compile.
+type Options struct {
+	Strategy Strategy
+	Device   *hardware.Device
+
+	// Partitioning (Algorithm 1) limits. Defaults depend on strategy.
+	PartitionMaxQubits int
+	PartitionMaxGates  int
+	// Regrouping limit for the full EPOC flow (default 2).
+	RegroupMaxQubits int
+
+	// UseZX toggles the graph-based depth-optimization stage; set by
+	// the strategy but overridable for ablations.
+	UseZX *bool
+
+	// Pulse library reuse. Library may be shared across compilations;
+	// when nil a fresh one is created. MatchGlobalPhase defaults to
+	// true for EPOC flows and false for AccQOC/PAQOC (the paper's
+	// distinction).
+	Library          *pulse.Library
+	MatchGlobalPhase *bool
+
+	// QOC tuning.
+	Mode           QOCMode
+	FidelityTarget float64 // default 0.999
+	GRAPEIters     int     // default 200
+	SlotStep2Q     int     // duration-search grid step for ≥2q blocks (default 8)
+	Seed           int64   // default 1
+
+	// Synthesis tuning (EPOC flows only).
+	Synth synth.Options
+
+	// Workers sets the number of goroutines used for QOC on distinct
+	// block unitaries (default 1; >1 helps on multi-core machines).
+	Workers int
+
+	// Decoherence enables T1/T2-aware fidelity: in addition to the ESP
+	// product, each qubit decays for the schedule's full latency
+	// (idle time included), so shorter schedules score higher. Off by
+	// default — the paper's Equation 3 is pure pulse ESP.
+	Decoherence bool
+
+	// Route maps the circuit onto the device coupler topology before
+	// partitioning, decomposing ≥3-qubit gates and inserting SWAPs.
+	Route bool
+
+	// Algorithm selects the pulse optimizer (default GRAPE).
+	Algorithm QOCAlgorithm
+}
+
+// QOCAlgorithm selects the optimal-control algorithm.
+type QOCAlgorithm int
+
+// Supported pulse optimizers (paper §2.4 discusses both).
+const (
+	AlgGRAPE QOCAlgorithm = iota
+	AlgCRAB
+)
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Device == nil {
+		panic("core: Options.Device is required")
+	}
+	switch out.Strategy {
+	case GateBased, AccQOC, PAQOC, EPOCNoGroup, EPOC:
+	case "":
+		out.Strategy = EPOC
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %q", out.Strategy))
+	}
+	if out.PartitionMaxQubits == 0 {
+		switch out.Strategy {
+		case AccQOC:
+			out.PartitionMaxQubits = 2
+		default:
+			out.PartitionMaxQubits = 2
+		}
+	}
+	if out.PartitionMaxGates == 0 {
+		switch out.Strategy {
+		case AccQOC:
+			// AccQOC slices the circuit into small uniform subcircuits.
+			out.PartitionMaxGates = 4
+		case PAQOC:
+			// PAQOC pulses mined gate patterns of a few gates each.
+			out.PartitionMaxGates = 6
+		default:
+			out.PartitionMaxGates = 16
+		}
+	}
+	if out.RegroupMaxQubits == 0 {
+		out.RegroupMaxQubits = 2
+	}
+	if out.UseZX == nil {
+		zx := out.Strategy == EPOC || out.Strategy == EPOCNoGroup
+		out.UseZX = &zx
+	}
+	if out.MatchGlobalPhase == nil {
+		match := out.Strategy == EPOC || out.Strategy == EPOCNoGroup
+		out.MatchGlobalPhase = &match
+	}
+	if out.Library == nil {
+		out.Library = pulse.NewLibrary(*out.MatchGlobalPhase)
+	}
+	if out.FidelityTarget == 0 {
+		out.FidelityTarget = 0.999
+	}
+	if out.GRAPEIters == 0 {
+		out.GRAPEIters = 200
+	}
+	if out.SlotStep2Q == 0 {
+		out.SlotStep2Q = 8
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Stats records what each stage did.
+type Stats struct {
+	DepthBefore   int
+	DepthAfterZX  int
+	GatesBefore   int
+	GatesAfterZX  int
+	Blocks        int
+	SynthFallback int // blocks that kept their original gate realization
+	VUGs          int // U3 VUGs emitted by synthesis
+	CNOTsAfter    int // CNOTs in the synthesized circuit
+	PulseCount    int
+	QOCRuns       int // GRAPE duration searches actually executed
+	LibraryHits   int
+	LibraryMisses int
+}
+
+// Result is a compiled pulse program with its metrics.
+type Result struct {
+	Strategy    Strategy
+	Schedule    *pulse.Schedule
+	Latency     float64 // ns
+	Fidelity    float64 // ESP (Equation 3)
+	CompileTime time.Duration
+	Stats       Stats
+}
+
+// Compile lowers a circuit to a pulse schedule under the selected
+// strategy.
+func Compile(c *circuit.Circuit, opts Options) (*Result, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch o.Strategy {
+	case GateBased:
+		res, err = compileGateBased(c, o)
+	default:
+		res, err = compileQOC(c, o)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = o.Strategy
+	res.CompileTime = time.Since(start)
+	res.Latency = res.Schedule.Latency
+	res.Fidelity = res.Schedule.TotalFidelity()
+	if o.Decoherence && o.Device.T2 > 0 {
+		// Each qubit dephases over the schedule's full latency, idle
+		// periods included.
+		decay := math.Exp(-float64(c.NumQubits) * res.Latency / o.Device.T2)
+		res.Fidelity *= decay
+	}
+	res.Stats.LibraryHits = o.Library.Hits
+	res.Stats.LibraryMisses = o.Library.Misses
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/hardware"
+	"epoc/internal/linalg"
+	"epoc/internal/qoc"
+)
+
+// reconstructUnitary rebuilds the total unitary of a compiled schedule
+// by propagating every pulse's stored amplitudes through the device
+// model and embedding the results in schedule order. This closes the
+// loop: the microwave program, not just the intermediate circuit, must
+// implement the input circuit.
+func reconstructUnitary(t *testing.T, res *Result, dev *hardware.Device, n int) *linalg.Matrix {
+	t.Helper()
+	u := linalg.Identity(1 << n)
+	for _, item := range res.Schedule.Items {
+		p := item.Pulse
+		if p.Amps == nil {
+			t.Fatalf("pulse %q carries no amplitudes (estimate mode?)", p.Label)
+		}
+		model := dev.BlockModel(len(p.Qubits))
+		block := model.Propagate(p.Amps)
+		u = linalg.EmbedOperator(block, p.Qubits, n).Mul(u)
+	}
+	return u
+}
+
+// endToEnd compiles with full QOC and checks the physical pulse
+// program against the input circuit's unitary.
+func endToEnd(t *testing.T, c *circuit.Circuit, strategy Strategy, minFid float64) {
+	t.Helper()
+	dev := hardware.LinearChain(c.NumQubits)
+	res, err := Compile(c, Options{Strategy: strategy, Device: dev, GRAPEIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reconstructUnitary(t, res, dev, c.NumQubits)
+	fid := qoc.Fidelity(got, c.Unitary())
+	if fid < minFid {
+		t.Fatalf("%s: pulse program implements the wrong unitary: fidelity %v (ESP claim %v)",
+			strategy, fid, res.Fidelity)
+	}
+	// The claimed ESP should roughly lower-bound the true process
+	// fidelity's error budget: with k pulses each ≥ target fidelity, the
+	// product is a pessimistic estimate, so the reconstructed fidelity
+	// must not be wildly below it.
+	if fid < res.Fidelity-0.05 {
+		t.Fatalf("%s: reconstructed fidelity %v far below claimed ESP %v", strategy, fid, res.Fidelity)
+	}
+}
+
+func TestEndToEndBellEPOC(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.CX), 0, 1)
+	endToEnd(t, c, EPOC, 0.99)
+}
+
+func TestEndToEndBellAllQOCStrategies(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.CX), 0, 1)
+	for _, s := range []Strategy{AccQOC, PAQOC, EPOCNoGroup} {
+		endToEnd(t, c, s, 0.99)
+	}
+}
+
+func TestEndToEndGHZ3(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.CX), 1, 2)
+	endToEnd(t, c, EPOC, 0.99)
+}
+
+func TestEndToEndPhaseKickback(t *testing.T) {
+	// A circuit with non-Clifford content and an idle-ish qubit.
+	c := circuit.New(3)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.T), 0)
+	c.Append(gate.New(gate.CX), 0, 2)
+	c.Append(gate.New(gate.RZ, 0.7), 2)
+	c.Append(gate.New(gate.CX), 0, 2)
+	c.Append(gate.New(gate.RX, 1.1), 1)
+	endToEnd(t, c, EPOC, 0.99)
+}
+
+func TestEndToEndScheduleTimingConsistency(t *testing.T) {
+	// Gate-based schedule latency must equal the circuit's weighted
+	// critical path under the device's calibrations.
+	c := circuit.New(3)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.X), 2)
+	c.Append(gate.New(gate.CX), 1, 2)
+	dev := hardware.LinearChain(3)
+	res, err := Compile(c, Options{Strategy: GateBased, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.CriticalPath(func(op circuit.Op) float64 {
+		return dev.GateLatency(op.G.Kind)
+	})
+	if math.Abs(res.Latency-want) > 1e-9 {
+		t.Fatalf("schedule latency %v != critical path %v", res.Latency, want)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"epoc/internal/circuit"
+	"epoc/internal/densesim"
+	"epoc/internal/gate"
+	"epoc/internal/hardware"
+)
+
+// replayNoisy reconstructs each pulse's achieved unitary from its
+// amplitudes and replays the schedule through the density-matrix
+// simulator with a depolarizing channel of strength 1−F per pulse,
+// returning the state fidelity against the noiseless replay.
+func replayNoisy(t *testing.T, res *Result, dev *hardware.Device, n int) float64 {
+	t.Helper()
+	var steps []densesim.Step
+	for _, item := range res.Schedule.Items {
+		p := item.Pulse
+		if p.Amps == nil {
+			t.Fatal("pulse without amplitudes; use full QOC mode")
+		}
+		model := dev.BlockModel(len(p.Qubits))
+		steps = append(steps, densesim.Step{
+			U:        model.Propagate(p.Amps),
+			Qubits:   p.Qubits,
+			Fidelity: p.Fidelity,
+		})
+	}
+	return densesim.NoisyFidelity(n, steps)
+}
+
+// TestESPTracksNoisySimulation validates Equation 3: the ESP product
+// the compiler reports must approximate the density-matrix fidelity of
+// the same pulse program with per-pulse depolarizing noise.
+func TestESPTracksNoisySimulation(t *testing.T) {
+	c := circuit.New(3)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.CX), 1, 2)
+	c.Append(gate.New(gate.T), 2)
+	c.Append(gate.New(gate.CX), 1, 2)
+	dev := hardware.LinearChain(3)
+	res, err := Compile(c, Options{Strategy: EPOC, Device: dev, GRAPEIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := replayNoisy(t, res, dev, 3)
+	// The depolarizing replay has two error sources: the channel
+	// (strength 1−F per pulse, which ESP multiplies out) and the pulse
+	// unitaries' own coherent error (already ≤ 1−F each). ESP should
+	// therefore sit within a small multiple of the simulated infidelity.
+	espErr := 1 - res.Fidelity
+	simErr := 1 - noisy
+	if simErr > 4*espErr+1e-6 {
+		t.Fatalf("noisy simulation error %v far exceeds ESP error %v", simErr, espErr)
+	}
+	if noisy > 1.0+1e-9 {
+		t.Fatalf("invalid fidelity %v", noisy)
+	}
+	t.Logf("ESP=%.5f, noisy density-matrix fidelity=%.5f", res.Fidelity, noisy)
+}
+
+// TestESPOrderingMatchesNoisySimulation checks that the ESP ranking of
+// two strategies agrees with the ground-truth noisy simulation: the
+// strategy with fewer/better pulses must also win the density-matrix
+// comparison.
+func TestESPOrderingMatchesNoisySimulation(t *testing.T) {
+	c := circuit.New(2)
+	c.Append(gate.New(gate.H), 0)
+	c.Append(gate.New(gate.T), 0)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.RZ, 0.6), 1)
+	c.Append(gate.New(gate.CX), 0, 1)
+	c.Append(gate.New(gate.H), 1)
+	dev := hardware.LinearChain(2)
+
+	grouped, err := Compile(c, Options{Strategy: EPOC, Device: dev, GRAPEIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ungrouped, err := Compile(c, Options{Strategy: EPOCNoGroup, Device: dev, GRAPEIters: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := replayNoisy(t, grouped, dev, 2)
+	nu := replayNoisy(t, ungrouped, dev, 2)
+	t.Logf("grouped: ESP=%.5f noisy=%.5f | ungrouped: ESP=%.5f noisy=%.5f",
+		grouped.Fidelity, ng, ungrouped.Fidelity, nu)
+	if grouped.Fidelity >= ungrouped.Fidelity && ng < nu-0.01 {
+		t.Fatal("ESP ranking contradicts the noisy simulation")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"epoc/internal/benchcirc"
+	"epoc/internal/hardware"
+	"epoc/internal/pulse"
+)
+
+func TestParallelQOCMatchesSequential(t *testing.T) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	seq, err := Compile(c, Options{Strategy: EPOC, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compile(c, Options{Strategy: EPOC, Device: dev, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq.Latency-par.Latency) > 1e-9 {
+		t.Fatalf("parallel QOC changed latency: %v vs %v", seq.Latency, par.Latency)
+	}
+	if math.Abs(seq.Fidelity-par.Fidelity) > 1e-9 {
+		t.Fatalf("parallel QOC changed fidelity: %v vs %v", seq.Fidelity, par.Fidelity)
+	}
+	if par.Stats.QOCRuns != seq.Stats.QOCRuns {
+		t.Fatalf("parallel QOC ran %d searches, sequential %d", par.Stats.QOCRuns, seq.Stats.QOCRuns)
+	}
+}
+
+func TestDecoherenceLowersFidelity(t *testing.T) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	plain, err := Compile(c, Options{Strategy: EPOC, Device: dev, Mode: QOCEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Compile(c, Options{Strategy: EPOC, Device: dev, Mode: QOCEstimate, Decoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fidelity >= plain.Fidelity {
+		t.Fatalf("decoherence did not lower fidelity: %v vs %v", dec.Fidelity, plain.Fidelity)
+	}
+	want := plain.Fidelity * math.Exp(-float64(c.NumQubits)*plain.Latency/dev.T2)
+	if math.Abs(dec.Fidelity-want) > 1e-9 {
+		t.Fatalf("decoherence factor wrong: %v vs %v", dec.Fidelity, want)
+	}
+}
+
+func TestDecoherenceRewardsShorterSchedules(t *testing.T) {
+	// Under decoherence, the latency gap between gate-based and EPOC
+	// must widen the fidelity gap too.
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	gb, err := Compile(c, Options{Strategy: GateBased, Device: dev, Decoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Compile(c, Options{Strategy: EPOC, Device: dev, Mode: QOCEstimate, Decoherence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Fidelity <= gb.Fidelity {
+		t.Fatalf("EPOC (%v) should beat gate-based (%v) under decoherence", ep.Fidelity, gb.Fidelity)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	c, _ := benchcirc.Get("ghz")
+	dev := hardware.LinearChain(c.NumQubits)
+	res, err := Compile(c, Options{Strategy: EPOC, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back pulse.Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumQubits != res.Schedule.NumQubits || len(back.Items) != len(res.Schedule.Items) {
+		t.Fatal("round trip lost structure")
+	}
+	if math.Abs(back.Latency-res.Schedule.Latency) > 1e-9 {
+		t.Fatal("round trip changed latency")
+	}
+	if math.Abs(back.TotalFidelity()-res.Schedule.TotalFidelity()) > 1e-12 {
+		t.Fatal("round trip changed fidelity")
+	}
+	// Amplitudes survive for full-QOC pulses.
+	found := false
+	for _, it := range back.Items {
+		if len(it.Pulse.Amps) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no amplitudes serialized")
+	}
+}
+
+func TestAccQOCMSTPrefill(t *testing.T) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	res, err := Compile(c, Options{Strategy: AccQOC, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fidelity < 0.9 {
+		t.Fatalf("AccQOC MST flow fidelity %v", res.Fidelity)
+	}
+	if res.Stats.QOCRuns == 0 {
+		t.Fatal("MST prefill ran no QOC")
+	}
+	// Every schedule pulse must have come from the library (prefill).
+	if res.Stats.LibraryMisses != 0 {
+		t.Fatalf("main loop missed the prefilled library %d times", res.Stats.LibraryMisses)
+	}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+	"epoc/internal/optimize"
+	"epoc/internal/partition"
+	"epoc/internal/pulse"
+	"epoc/internal/qoc"
+	"epoc/internal/route"
+	"epoc/internal/sim"
+	"epoc/internal/synth"
+	"epoc/internal/zx"
+)
+
+// compileGateBased lowers every gate to its calibrated pulse.
+func compileGateBased(c *circuit.Circuit, o Options) (*Result, error) {
+	sched := pulse.NewSchedule(c.NumQubits)
+	res := &Result{Schedule: sched}
+	res.Stats.DepthBefore = c.Depth()
+	res.Stats.GatesBefore = c.Len()
+	for _, op := range c.Ops {
+		if op.G.IsBlock() {
+			return nil, fmt.Errorf("core: gate-based flow cannot lower block gate %s", op.G)
+		}
+		dur := o.Device.GateLatency(op.G.Kind)
+		if dur == 0 {
+			continue // virtual gate (frame change)
+		}
+		sched.Add(&pulse.Pulse{
+			Label:    string(op.G.Kind),
+			Qubits:   append([]int(nil), op.Qubits...),
+			Duration: dur,
+			Fidelity: o.Device.GateFidelity(len(op.Qubits)),
+		})
+		res.Stats.PulseCount++
+	}
+	return res, nil
+}
+
+// compileQOC runs the partition/synthesis/QOC flows (AccQOC, PAQOC,
+// EPOC with and without grouping).
+func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
+	res := &Result{}
+	res.Stats.DepthBefore = c.Depth()
+	res.Stats.GatesBefore = c.Len()
+
+	work := c
+	// PAQOC is "program-aware": it cleans the gate stream first.
+	if o.Strategy == PAQOC {
+		work = optimize.Peephole(work)
+	}
+	// Stage 1: graph-based depth optimization (EPOC flows).
+	if *o.UseZX {
+		work = zxOptimize(work)
+	}
+	res.Stats.DepthAfterZX = work.Depth()
+	res.Stats.GatesAfterZX = work.Len()
+
+	// Optional topology mapping: decompose wide gates, insert SWAPs.
+	// Runs after the ZX stage, whose extraction may rewire qubit pairs.
+	if o.Route {
+		basis := optimize.DecomposeToBasis(work)
+		topo := route.NewTopology(o.Device.NumQubits, o.Device.Edges)
+		routed, err := route.Route(basis, topo)
+		if err != nil {
+			return nil, err
+		}
+		work = routed.Circuit
+	}
+
+	// Stage 2: greedy partition (Algorithm 1).
+	blocks := partition.Partition(work, partition.Options{
+		MaxQubits: o.PartitionMaxQubits,
+		MaxGates:  o.PartitionMaxGates,
+	})
+	res.Stats.Blocks = len(blocks)
+
+	// Stage 3: lower blocks. EPOC flows synthesize each block into
+	// VUGs + CNOTs; AccQOC/PAQOC feed block unitaries straight to QOC.
+	var lowered *circuit.Circuit
+	epocFlow := o.Strategy == EPOC || o.Strategy == EPOCNoGroup
+	if epocFlow {
+		lowered = circuit.New(c.NumQubits)
+		for _, b := range blocks {
+			local := b.Local
+			if !b.Bridge && len(b.Qubits) <= 3 && local.Len() > 1 {
+				synthed, _ := synth.SynthesizeBlock(b.Unitary(), decomposeFallback(local), o.Synth)
+				if synthed != local {
+					local = synthed
+				} else {
+					res.Stats.SynthFallback++
+				}
+			}
+			for _, op := range local.Ops {
+				qs := make([]int, len(op.Qubits))
+				for i, lq := range op.Qubits {
+					qs[i] = b.Qubits[lq]
+				}
+				lowered.Append(op.G, qs...)
+			}
+		}
+		res.Stats.VUGs = lowered.CountKind(gate.U3)
+		res.Stats.CNOTsAfter = lowered.CountKind(gate.CX)
+	} else {
+		lowered = partition.ToBlockCircuit(c.NumQubits, blocks)
+	}
+
+	// Stage 4: regrouping (full EPOC and the coarse baselines; the
+	// no-grouping ablation pulses every op individually).
+	var pulsed *circuit.Circuit
+	switch o.Strategy {
+	case EPOC:
+		pulsed = synth.Regroup(lowered, o.RegroupMaxQubits)
+	case EPOCNoGroup:
+		pulsed = lowered
+	default:
+		// AccQOC/PAQOC blocks are already unitary ops of bounded size.
+		pulsed = lowered
+	}
+
+	// Stage 5: QOC per distinct unitary, with library reuse. With
+	// Workers > 1 the distinct misses are optimized concurrently first.
+	// The AccQOC baseline instead builds its library along a minimum
+	// spanning tree of the unitary similarity graph with warm-started
+	// GRAPE, as the original AccQOC paper does.
+	if o.Mode == QOCFull {
+		switch {
+		case o.Workers > 1:
+			prefillLibrary(pulsed, o, &res.Stats)
+		case o.Strategy == AccQOC:
+			mstPrefill(pulsed, o, &res.Stats)
+		}
+	}
+	sched := pulse.NewSchedule(c.NumQubits)
+	res.Schedule = sched
+	for _, op := range pulsed.Ops {
+		u := op.G.Matrix()
+		p, hit := o.Library.Lookup(u)
+		if !hit {
+			var err error
+			p, err = pulseFor(u, op, o, &res.Stats)
+			if err != nil {
+				return nil, err
+			}
+			o.Library.Store(u, p)
+		}
+		placed := &pulse.Pulse{
+			Label:    p.Label,
+			Qubits:   append([]int(nil), op.Qubits...),
+			Duration: p.Duration,
+			Fidelity: p.Fidelity,
+			Slots:    p.Slots,
+			Amps:     p.Amps,
+		}
+		sched.Add(placed)
+		res.Stats.PulseCount++
+	}
+	return res, nil
+}
+
+// prefillLibrary optimizes every distinct uncached block unitary with
+// a pool of worker goroutines, then stores the results, so the main
+// scheduling loop only hits the library. Stats.QOCRuns is accumulated
+// afterwards to stay race-free.
+func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) {
+	type job struct {
+		u  *linalg.Matrix
+		op circuit.Op
+	}
+	var jobs []job
+	seen := map[string]bool{}
+	for _, op := range pulsed.Ops {
+		u := op.G.Matrix()
+		fp := linalg.Fingerprint(u)
+		if seen[fp] || o.Library.Peek(u) {
+			continue
+		}
+		seen[fp] = true
+		jobs = append(jobs, job{u: u, op: op})
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	type done struct {
+		idx int
+		p   *pulse.Pulse
+		st  Stats
+		err error
+	}
+	work := make(chan int)
+	results := make(chan done, len(jobs))
+	workers := o.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range work {
+				var local Stats
+				p, err := pulseFor(jobs[idx].u, jobs[idx].op, o, &local)
+				results <- done{idx: idx, p: p, st: local, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			work <- i
+		}
+		close(work)
+	}()
+	for range jobs {
+		d := <-results
+		if d.err != nil {
+			continue // the sequential loop will retry and surface the error
+		}
+		o.Library.Store(jobs[d.idx].u, d.p)
+		st.QOCRuns += d.st.QOCRuns
+	}
+}
+
+// mstPrefill builds the pulse library in AccQOC's order: group the
+// distinct uncached unitaries by size, span each group's similarity
+// graph with an MST, and optimize along the tree with GRAPE warm
+// starts from each vertex's parent pulse.
+func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) {
+	type job struct {
+		u  *linalg.Matrix
+		op circuit.Op
+	}
+	byDim := map[int][]job{}
+	seen := map[string]bool{}
+	for _, op := range pulsed.Ops {
+		u := op.G.Matrix()
+		fp := linalg.Fingerprint(u)
+		if seen[fp] || o.Library.Peek(u) {
+			continue
+		}
+		seen[fp] = true
+		byDim[u.Rows] = append(byDim[u.Rows], job{u: u, op: op})
+	}
+	for _, jobs := range byDim {
+		us := make([]*linalg.Matrix, len(jobs))
+		for i, j := range jobs {
+			us[i] = j.u
+		}
+		order, parent := qoc.MSTOrder(us)
+		pulses := make([]*pulse.Pulse, len(jobs))
+		for _, idx := range order {
+			var warm [][]float64
+			if parent[idx] >= 0 && pulses[parent[idx]] != nil {
+				warm = pulses[parent[idx]].Amps
+			}
+			p, err := pulseForWarm(jobs[idx].u, jobs[idx].op, o, st, warm)
+			if err != nil {
+				continue // the sequential loop will retry and surface it
+			}
+			pulses[idx] = p
+			o.Library.Store(jobs[idx].u, p)
+		}
+	}
+}
+
+// pulseFor produces a pulse for one block unitary, via GRAPE or the
+// calibrated estimator.
+func pulseFor(u *linalg.Matrix, op circuit.Op, o Options, st *Stats) (*pulse.Pulse, error) {
+	return pulseForWarm(u, op, o, st, nil)
+}
+
+// pulseForWarm is pulseFor with an optional GRAPE warm start.
+func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm [][]float64) (*pulse.Pulse, error) {
+	k := len(op.Qubits)
+	label := fmt.Sprintf("%s[%dq]", op.G.Kind, k)
+	if o.Mode == QOCEstimate {
+		dur, fid := estimatePulse(op, o)
+		return &pulse.Pulse{Label: label, Duration: dur, Fidelity: fid}, nil
+	}
+	model := o.Device.BlockModel(k)
+	maxSlots := o.Device.MaxSlots(k)
+	step := 2
+	if k == 2 {
+		step = o.SlotStep2Q
+	} else if k > 2 {
+		step = 2 * o.SlotStep2Q
+	}
+	st.QOCRuns++
+	var r qoc.Result
+	if o.Algorithm == AlgCRAB {
+		r = qoc.DurationSearchCRAB(model, u, 2, maxSlots, step, qoc.CRABConfig{
+			Target: o.FidelityTarget,
+			Seed:   o.Seed,
+		})
+	} else {
+		cfg := qoc.GRAPEConfig{
+			MaxIter: o.GRAPEIters,
+			Target:  o.FidelityTarget,
+			Seed:    o.Seed,
+		}
+		if warm == nil {
+			r = qoc.DurationSearch(model, u, 2, maxSlots, step, cfg)
+		} else {
+			r = qoc.SearchDuration(2, maxSlots, step, cfg.Target, func(slots int) qoc.Result {
+				return qoc.WarmStartGRAPE(model, u, slots, warm, cfg)
+			})
+		}
+	}
+	return &pulse.Pulse{
+		Label:    label,
+		Duration: r.Duration,
+		Fidelity: r.Fidelity,
+		Slots:    r.Slots,
+		Amps:     r.Amps,
+	}, nil
+}
+
+// estimatePulse predicts a pulse's duration and fidelity from gate
+// content, with constants calibrated against the GRAPE engine (1q ops
+// ≈ 16 ns, CX-equivalents ≈ 96 ns on the default device).
+func estimatePulse(op circuit.Op, o Options) (dur, fid float64) {
+	const (
+		oneQ = 16.0
+		twoQ = 96.0
+	)
+	k := len(op.Qubits)
+	switch {
+	case op.G.Kind == gate.CX || op.G.Kind == gate.CZ:
+		dur = twoQ
+	case k == 1:
+		dur = oneQ
+	default:
+		// Content heuristic for a block: its non-locality is bounded by
+		// the Weyl volume; approximate with one CX-equivalent per qubit
+		// pair plus one 1q layer.
+		dur = twoQ*float64(k-1) + oneQ
+	}
+	// Quantize to the device slot grid.
+	dur = math.Ceil(dur/o.Device.Dt) * o.Device.Dt
+	return dur, o.FidelityTarget
+}
+
+// DepthOptimize exposes the graph-based depth-optimization stage on
+// its own (used by the Figure 5 experiment and cmd/zxopt): it returns
+// the shallowest verified equivalent of c found via ZX simplification
+// and extraction, never worse than c itself.
+func DepthOptimize(c *circuit.Circuit) *circuit.Circuit {
+	return zxSelect(c, func(cand *circuit.Circuit) float64 { return float64(cand.Depth()) })
+}
+
+// zxOptimize is the pipeline's ZX stage. Unlike DepthOptimize it
+// scores candidates by a pulse-latency proxy — the critical path with
+// two-qubit ops an order of magnitude more expensive than single-qubit
+// ops — because extraction can trade depth for extra CNOT scaffolding
+// that would lengthen the final schedule.
+func zxOptimize(c *circuit.Circuit) *circuit.Circuit {
+	return zxSelect(c, latencyProxy)
+}
+
+func latencyProxy(c *circuit.Circuit) float64 {
+	return c.CriticalPath(func(op circuit.Op) float64 {
+		if len(op.Qubits) >= 2 {
+			return 96
+		}
+		return 16
+	})
+}
+
+// zxSelect applies the ZX pass with verification and a safe fallback:
+// the extracted circuit must reproduce the original unitary on random
+// product states (up to 12 qubits); on extraction failure or
+// verification mismatch the gate-level peephole optimizer stands in.
+// Among the verified candidates (original, peephole-cleaned original,
+// cleaned extraction) the best under `score` wins, so the pass never
+// hurts.
+func zxSelect(c *circuit.Circuit, score func(*circuit.Circuit) float64) *circuit.Circuit {
+	best := c
+	bestScore := score(c)
+	consider := func(cand *circuit.Circuit) {
+		if s := score(cand); s < bestScore {
+			best = cand
+			bestScore = s
+		}
+	}
+	peep := optimize.Peephole(c)
+	consider(peep)
+	consider(optimize.MergeSingleQubitRuns(peep))
+
+	tryExtract := func(simplify func(*zx.Graph)) {
+		g := zx.FromCircuit(c)
+		simplify(g)
+		out, err := g.ToCircuit()
+		if err != nil {
+			return
+		}
+		if c.NumQubits <= 12 && !verifyEquivalent(c, out) {
+			return
+		}
+		consider(out)
+		peepOut := optimize.Peephole(out)
+		consider(peepOut)
+		consider(optimize.MergeSingleQubitRuns(peepOut))
+	}
+	tryExtract(func(g *zx.Graph) { g.Simplify() })
+	tryExtract(func(g *zx.Graph) { g.FullSimplify() })
+	return best
+}
+
+// verifyEquivalent checks circuit equality up to global phase on
+// random product states.
+func verifyEquivalent(a, b *circuit.Circuit) bool {
+	if a.NumQubits != b.NumQubits {
+		return false
+	}
+	seeds := deterministicStates(a.NumQubits, 3)
+	return sim.EquivalentCircuits(a, b, len(seeds), seeds)
+}
+
+func deterministicStates(n, count int) []*sim.State {
+	states := make([]*sim.State, count)
+	for i := range states {
+		s := sim.NewState(n)
+		for q := 0; q < n; q++ {
+			theta := 0.7*float64(i+1) + 0.31*float64(q)
+			phi := 1.3*float64(i+1) - 0.17*float64(q)
+			s.ApplyMatrix(gate.New(gate.U3, theta, phi, 0.4).Matrix(), []int{q})
+		}
+		states[i] = s
+	}
+	return states
+}
+
+// decomposeFallback renders a block's original gates in the U3/CX
+// vocabulary so the synthesis fallback composes with regrouping.
+func decomposeFallback(local *circuit.Circuit) *circuit.Circuit {
+	basis := optimize.DecomposeToBasis(local)
+	return optimize.MergeSingleQubitRuns(basis)
+}

@@ -1,0 +1,194 @@
+package densesim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+	"epoc/internal/sim"
+)
+
+const tol = 1e-9
+
+func TestNewDensityIsPureZero(t *testing.T) {
+	d := NewDensity(2)
+	if math.Abs(real(d.Trace())-1) > tol {
+		t.Fatal("trace != 1")
+	}
+	if math.Abs(d.Purity()-1) > tol {
+		t.Fatal("purity != 1")
+	}
+	v := make([]complex128, 4)
+	v[0] = 1
+	if math.Abs(d.FidelityWithPure(v)-1) > tol {
+		t.Fatal("fidelity with |00> != 1")
+	}
+}
+
+func TestUnitaryEvolutionMatchesStateVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomCircuit(3, 15, rng)
+	s := sim.RunCircuit(c)
+	d := NewDensity(3)
+	for _, op := range c.Ops {
+		d.ApplyOp(op)
+	}
+	if f := d.FidelityWithPure(s.Amp); math.Abs(f-1) > 1e-8 {
+		t.Fatalf("density evolution diverged from state vector: %v", f)
+	}
+	if math.Abs(d.Purity()-1) > 1e-8 {
+		t.Fatal("unitary evolution lost purity")
+	}
+}
+
+func TestDepolarizeFullyMixes(t *testing.T) {
+	d := NewDensity(1)
+	d.Depolarize(1, []int{0})
+	// Full-strength single-qubit depolarizing sends any state to I/2.
+	if math.Abs(real(d.Rho.At(0, 0))-0.5) > tol || math.Abs(real(d.Rho.At(1, 1))-0.5) > tol {
+		t.Fatalf("not maximally mixed:\n%v", d.Rho)
+	}
+	if math.Abs(d.Purity()-0.5) > tol {
+		t.Fatalf("purity %v, want 0.5", d.Purity())
+	}
+}
+
+func TestDepolarizeTracePreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDensity(2)
+	d.ApplyUnitary(linalg.RandomUnitary(4, rng), []int{0, 1})
+	d.Depolarize(0.2, []int{0})
+	if math.Abs(real(d.Trace())-1) > 1e-9 {
+		t.Fatalf("trace after channel: %v", d.Trace())
+	}
+	d.Depolarize(0.3, []int{0, 1})
+	if math.Abs(real(d.Trace())-1) > 1e-9 {
+		t.Fatal("two-qubit channel broke the trace")
+	}
+}
+
+func TestAmplitudeDampDecaysExcitedState(t *testing.T) {
+	d := NewDensity(1)
+	d.ApplyUnitary(gate.New(gate.X).Matrix(), []int{0}) // |1>
+	d.AmplitudeDamp(0.4, 0)
+	// P(1) = 1-γ.
+	if math.Abs(real(d.Rho.At(1, 1))-0.6) > tol {
+		t.Fatalf("excited population %v, want 0.6", d.Rho.At(1, 1))
+	}
+	if math.Abs(real(d.Trace())-1) > tol {
+		t.Fatal("trace broken")
+	}
+	// γ=1 fully relaxes to |0>.
+	d.AmplitudeDamp(1, 0)
+	if math.Abs(real(d.Rho.At(0, 0))-1) > tol {
+		t.Fatal("full damping did not reach the ground state")
+	}
+}
+
+func TestDephaseKillsCoherence(t *testing.T) {
+	d := NewDensity(1)
+	d.ApplyUnitary(gate.New(gate.H).Matrix(), []int{0}) // |+>
+	d.Dephase(1, 0)
+	// Full dephasing (λ=1 means Z with prob 1... which is unitary).
+	// Use λ=0.5: coherences vanish entirely.
+	d2 := NewDensity(1)
+	d2.ApplyUnitary(gate.New(gate.H).Matrix(), []int{0})
+	d2.Dephase(0.5, 0)
+	if cAbs(d2.Rho.At(0, 1)) > tol {
+		t.Fatalf("off-diagonal survived λ=0.5 dephasing: %v", d2.Rho.At(0, 1))
+	}
+	// Populations untouched.
+	if math.Abs(real(d2.Rho.At(0, 0))-0.5) > tol {
+		t.Fatal("dephasing changed populations")
+	}
+	_ = d
+}
+
+func TestNoisyFidelityMatchesESPRegime(t *testing.T) {
+	// For small per-step infidelities, the true process fidelity should
+	// track the ESP product within a factor-of-two error budget.
+	rng := rand.New(rand.NewSource(7))
+	var steps []Step
+	esp := 1.0
+	for i := 0; i < 6; i++ {
+		u := linalg.RandomUnitary(4, rng)
+		q := rng.Intn(2)
+		f := 0.995 + 0.004*rng.Float64()
+		steps = append(steps, Step{U: u, Qubits: []int{q, (q + 1) % 3}, Fidelity: f})
+		esp *= f
+	}
+	got := NoisyFidelity(3, steps)
+	if got > 1+tol || got < 0 {
+		t.Fatalf("fidelity out of range: %v", got)
+	}
+	// ESP is a pessimistic product; the simulated fidelity must be of
+	// the same order: within [esp - 3(1-esp), 1].
+	lower := esp - 3*(1-esp)
+	if got < lower {
+		t.Fatalf("simulated fidelity %v far below ESP %v", got, esp)
+	}
+}
+
+func TestNoisyFidelityPerfectPulses(t *testing.T) {
+	steps := []Step{
+		{U: gate.New(gate.H).Matrix(), Qubits: []int{0}, Fidelity: 1},
+		{U: gate.New(gate.CX).Matrix(), Qubits: []int{0, 1}, Fidelity: 1},
+	}
+	if f := NoisyFidelity(2, steps); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("perfect pulses should give fidelity 1, got %v", f)
+	}
+}
+
+func TestQuickChannelsPreserveTraceAndPositivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDensity(2)
+		d.ApplyUnitary(linalg.RandomUnitary(4, rng), []int{0, 1})
+		d.Depolarize(rng.Float64()*0.5, []int{rng.Intn(2)})
+		d.AmplitudeDamp(rng.Float64()*0.5, rng.Intn(2))
+		d.Dephase(rng.Float64()*0.5, rng.Intn(2))
+		if math.Abs(real(d.Trace())-1) > 1e-8 {
+			return false
+		}
+		// Purity in (0, 1].
+		p := d.Purity()
+		return p > 0 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromPure(t *testing.T) {
+	amp := []complex128{complex(1/math.Sqrt2, 0), 0, 0, complex(1/math.Sqrt2, 0)}
+	d := FromPure(amp)
+	if d.N != 2 || math.Abs(d.Purity()-1) > tol {
+		t.Fatal("FromPure broken")
+	}
+	if math.Abs(d.FidelityWithPure(amp)-1) > tol {
+		t.Fatal("self fidelity != 1")
+	}
+}
+
+func cAbs(v complex128) float64 { return math.Hypot(real(v), imag(v)) }
+
+func randomCircuit(n, ops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c.Append(gate.New(gate.H), rng.Intn(n))
+		case 1:
+			c.Append(gate.New(gate.RZ, rng.Float64()*2*math.Pi), rng.Intn(n))
+		default:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.Append(gate.New(gate.CX), a, b)
+		}
+	}
+	return c
+}

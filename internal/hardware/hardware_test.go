@@ -1,0 +1,73 @@
+package hardware
+
+import (
+	"testing"
+
+	"epoc/internal/gate"
+)
+
+func TestLinearChainTopology(t *testing.T) {
+	d := LinearChain(5)
+	if d.NumQubits != 5 || len(d.Edges) != 4 {
+		t.Fatalf("topology: %d qubits, %d edges", d.NumQubits, len(d.Edges))
+	}
+	for i, e := range d.Edges {
+		if e[0] != i || e[1] != i+1 {
+			t.Fatalf("edge %d = %v", i, e)
+		}
+	}
+}
+
+func TestLinearChainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LinearChain(0)
+}
+
+func TestGateLatencies(t *testing.T) {
+	d := LinearChain(2)
+	if d.GateLatency(gate.RZ) != 0 {
+		t.Fatal("RZ should be virtual")
+	}
+	if d.GateLatency(gate.X) <= 0 {
+		t.Fatal("X should take time")
+	}
+	if d.GateLatency(gate.CX) <= d.GateLatency(gate.X) {
+		t.Fatal("CX should dominate X")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for block gates")
+		}
+	}()
+	d.GateLatency(gate.Unitary)
+}
+
+func TestGateFidelityTiers(t *testing.T) {
+	d := LinearChain(2)
+	if !(d.GateFidelity(1) > d.GateFidelity(2) && d.GateFidelity(2) > d.GateFidelity(3)) {
+		t.Fatal("fidelity tiers not ordered")
+	}
+}
+
+func TestBlockModel(t *testing.T) {
+	d := LinearChain(4)
+	m := d.BlockModel(2)
+	if m.N != 2 || m.Dt != d.Dt {
+		t.Fatalf("block model: n=%d dt=%v", m.N, m.Dt)
+	}
+	// 2 qubits: 4 drives + 1 coupler.
+	if len(m.Controls) != 5 {
+		t.Fatalf("control count %d", len(m.Controls))
+	}
+}
+
+func TestMaxSlotsMonotone(t *testing.T) {
+	d := LinearChain(4)
+	if !(d.MaxSlots(1) < d.MaxSlots(2) && d.MaxSlots(2) < d.MaxSlots(3)) {
+		t.Fatal("MaxSlots should grow with block size")
+	}
+}

@@ -1,0 +1,230 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U where L
+// is unit lower triangular and U is upper triangular, both packed into
+// the single matrix LU.
+type LU struct {
+	LU    *Matrix
+	Pivot []int // row i of the factorization came from row Pivot[i] of A
+	Sign  int   // +1 or -1, parity of the permutation
+}
+
+// LUDecompose factors the square matrix a with partial pivoting.
+func LUDecompose(a *Matrix) (*LU, error) {
+	mustSquare(a)
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot row.
+		p := k
+		best := cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu.At(i, k)); a > best {
+				best = a
+				p = i
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivVal
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{LU: lu, Pivot: piv, Sign: sign}, nil
+}
+
+// Solve returns x with A·x = b for the factored matrix.
+func (f *LU) Solve(b []complex128) []complex128 {
+	n := f.LU.Rows
+	if len(b) != n {
+		panic("linalg: Solve dimension mismatch")
+	}
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.Pivot[i]]
+	}
+	// Forward substitution (L is unit lower).
+	for i := 1; i < n; i++ {
+		var s complex128
+		for j := 0; j < i; j++ {
+			s += f.LU.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s complex128
+		for j := i + 1; j < n; j++ {
+			s += f.LU.At(i, j) * x[j]
+		}
+		x[i] = (x[i] - s) / f.LU.At(i, i)
+	}
+	return x
+}
+
+// SolveMatrix returns X with A·X = B.
+func (f *LU) SolveMatrix(b *Matrix) *Matrix {
+	n := f.LU.Rows
+	if b.Rows != n {
+		panic("linalg: SolveMatrix dimension mismatch")
+	}
+	out := NewMatrix(n, b.Cols)
+	col := make([]complex128, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := f.Solve(col)
+		for i := 0; i < n; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() complex128 {
+	d := complex(float64(f.Sign), 0)
+	n := f.LU.Rows
+	for i := 0; i < n; i++ {
+		d *= f.LU.At(i, i)
+	}
+	return d
+}
+
+// Inverse returns A⁻¹ for a square matrix, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Identity(a.Rows)), nil
+}
+
+// Solve solves A·x = b directly.
+func Solve(a *Matrix, b []complex128) ([]complex128, error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Det returns the determinant of a square matrix (0 if singular).
+func Det(a *Matrix) complex128 {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return 0
+	}
+	return f.Det()
+}
+
+// QRDecompose computes a Householder QR factorization A = Q·R with Q
+// unitary and R upper triangular. A must have Rows >= Cols.
+func QRDecompose(a *Matrix) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("linalg: QRDecompose requires rows >= cols")
+	}
+	r = a.Clone()
+	q = Identity(m)
+	v := make([]complex128, m)
+	for k := 0; k < n && k < m-1; k++ {
+		// Build Householder vector for column k below the diagonal.
+		var normx float64
+		for i := k; i < m; i++ {
+			normx += absSq(r.At(i, k))
+		}
+		normx = math.Sqrt(normx)
+		if normx == 0 {
+			continue
+		}
+		akk := r.At(k, k)
+		var alpha complex128
+		if akk == 0 {
+			alpha = complex(-normx, 0)
+		} else {
+			alpha = -akk / complex(cmplx.Abs(akk), 0) * complex(normx, 0)
+		}
+		var vnorm float64
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+		}
+		v[k] -= alpha
+		for i := k; i < m; i++ {
+			vnorm += absSq(v[i])
+		}
+		if vnorm == 0 {
+			continue
+		}
+		beta := complex(2/vnorm, 0)
+		// R <- (I - beta v v†) R
+		for j := k; j < n; j++ {
+			var s complex128
+			for i := k; i < m; i++ {
+				s += cmplx.Conj(v[i]) * r.At(i, j)
+			}
+			s *= beta
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-v[i]*s)
+			}
+		}
+		// Q <- Q (I - beta v v†)
+		for i := 0; i < m; i++ {
+			var s complex128
+			for l := k; l < m; l++ {
+				s += q.At(i, l) * v[l]
+			}
+			s *= beta
+			for l := k; l < m; l++ {
+				q.Set(i, l, q.At(i, l)-s*cmplx.Conj(v[l]))
+			}
+		}
+	}
+	// Zero out numerical noise below the diagonal of R.
+	for i := 1; i < m; i++ {
+		for j := 0; j < n && j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return q, r
+}
+
+func absSq(v complex128) float64 { return real(v)*real(v) + imag(v)*imag(v) }
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

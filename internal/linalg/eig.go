@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// EigHermitian diagonalizes a Hermitian matrix using the cyclic complex
+// Jacobi method. It returns real eigenvalues (ascending) and a unitary
+// matrix whose columns are the corresponding eigenvectors, so that
+// A = V · diag(vals) · V†.
+func EigHermitian(a *Matrix) (vals []float64, vecs *Matrix) {
+	mustSquare(a)
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	tol := 1e-14 * (1 + w.FrobeniusNorm())
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(w, v, p, q)
+			}
+		}
+	}
+
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = real(w.At(i, i))
+	}
+	// Sort ascending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for c, src := range idx {
+		sortedVals[c] = vals[src]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, c, v.At(r, src))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// jacobiRotate zeroes w[p][q] (and w[q][p]) with a complex Givens
+// rotation, accumulating the rotation into v.
+func jacobiRotate(w, v *Matrix, p, q int) {
+	apq := w.At(p, q)
+	r := cmplx.Abs(apq)
+	if r < 1e-300 {
+		return
+	}
+	app := real(w.At(p, p))
+	aqq := real(w.At(q, q))
+	phase := apq / complex(r, 0) // e^{iα}
+
+	tau := (aqq - app) / (2 * r)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	cc := complex(c, 0)
+	sePos := complex(s, 0) * phase             // s·e^{iα}
+	seNeg := complex(s, 0) * cmplx.Conj(phase) // s·e^{-iα}
+
+	n := w.Rows
+	// Column update: W <- W·R with R[p][p]=c, R[p][q]=s·e^{iα},
+	// R[q][p]=-s·e^{-iα}, R[q][q]=c.
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, cc*wkp-seNeg*wkq)
+		w.Set(k, q, sePos*wkp+cc*wkq)
+	}
+	// Row update: W <- R†·W.
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, cc*wpk-sePos*wqk)
+		w.Set(q, k, seNeg*wpk+cc*wqk)
+	}
+	// Force exact symmetry of the zeroed pair and realness of the diagonal.
+	w.Set(p, q, 0)
+	w.Set(q, p, 0)
+	w.Set(p, p, complex(real(w.At(p, p)), 0))
+	w.Set(q, q, complex(real(w.At(q, q)), 0))
+	// Accumulate eigenvectors: V <- V·R.
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, cc*vkp-seNeg*vkq)
+		v.Set(k, q, sePos*vkp+cc*vkq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s += absSq(m.At(i, j))
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// EigSymmetricReal diagonalizes a real symmetric matrix given as a
+// complex Matrix with negligible imaginary parts. It returns ascending
+// eigenvalues and a real orthogonal eigenvector matrix. It is a thin
+// wrapper over EigHermitian that strips imaginary round-off, used by the
+// KAK decomposition where real orthogonal eigenbases are required.
+func EigSymmetricReal(a *Matrix) (vals []float64, vecs *Matrix) {
+	re := NewMatrix(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		re.Data[i] = complex(real(v), 0)
+	}
+	vals, vecs = EigHermitian(re)
+	// A real symmetric matrix has a real eigenbasis, but the complex
+	// Jacobi sweep can introduce a constant phase per column; rotate each
+	// column to be real.
+	n := vecs.Rows
+	for c := 0; c < n; c++ {
+		// Find the largest-magnitude entry and divide out its phase.
+		var best complex128
+		var bestAbs float64
+		for r := 0; r < n; r++ {
+			if ab := cmplx.Abs(vecs.At(r, c)); ab > bestAbs {
+				bestAbs = ab
+				best = vecs.At(r, c)
+			}
+		}
+		if bestAbs == 0 {
+			continue
+		}
+		ph := best / complex(bestAbs, 0)
+		for r := 0; r < n; r++ {
+			vecs.Set(r, c, vecs.At(r, c)/ph)
+		}
+	}
+	return vals, vecs
+}

@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Expm returns the matrix exponential e^A computed with the
+// scaling-and-squaring algorithm and a degree-13 Padé approximant
+// (Higham 2005). It works for arbitrary square complex matrices.
+func Expm(a *Matrix) *Matrix {
+	mustSquare(a)
+	n := a.Rows
+	norm := a.OneNorm()
+
+	// Padé approximant orders and their theta bounds.
+	type pade struct {
+		m     int
+		theta float64
+	}
+	table := []pade{{3, 1.495585217958292e-2}, {5, 2.539398330063230e-1}, {7, 9.504178996162932e-1}, {9, 2.097847961257068}, {13, 5.371920351148152}}
+
+	for _, p := range table[:4] {
+		if norm <= p.theta {
+			return padeApprox(a, p.m)
+		}
+	}
+	// Scale so the norm falls below theta13, square back afterwards.
+	s := 0
+	if norm > table[4].theta {
+		s = int(math.Ceil(math.Log2(norm / table[4].theta)))
+	}
+	scaled := a.Scale(complex(math.Pow(2, -float64(s)), 0))
+	e := padeApprox(scaled, 13)
+	for i := 0; i < s; i++ {
+		e = e.Mul(e)
+	}
+	_ = n
+	return e
+}
+
+// padeCoeffs returns the Padé numerator coefficients for order m.
+func padeCoeffs(m int) []float64 {
+	switch m {
+	case 3:
+		return []float64{120, 60, 12, 1}
+	case 5:
+		return []float64{30240, 15120, 3360, 420, 30, 1}
+	case 7:
+		return []float64{17297280, 8648640, 1995840, 277200, 25200, 1512, 56, 1}
+	case 9:
+		return []float64{17643225600, 8821612800, 2075673600, 302702400, 30270240, 2162160, 110880, 3960, 90, 1}
+	case 13:
+		return []float64{64764752532480000, 32382376266240000, 7771770303897600, 1187353796428800, 129060195264000, 10559470521600, 670442572800, 33522128640, 1323241920, 40840800, 960960, 16380, 182, 1}
+	}
+	panic("linalg: unsupported Padé order")
+}
+
+func padeApprox(a *Matrix, m int) *Matrix {
+	c := padeCoeffs(m)
+	n := a.Rows
+	a2 := a.Mul(a)
+
+	var u, v *Matrix
+	if m == 13 {
+		a4 := a2.Mul(a2)
+		a6 := a4.Mul(a2)
+		// U = A·(A6·(c13·A6 + c11·A4 + c9·A2) + c7·A6 + c5·A4 + c3·A2 + c1·I)
+		inner := a6.Scale(complex(c[13], 0)).Add(a4.Scale(complex(c[11], 0))).Add(a2.Scale(complex(c[9], 0)))
+		u = a.Mul(a6.Mul(inner).Add(a6.Scale(complex(c[7], 0))).Add(a4.Scale(complex(c[5], 0))).Add(a2.Scale(complex(c[3], 0))).Add(Identity(n).Scale(complex(c[1], 0))))
+		innerV := a6.Scale(complex(c[12], 0)).Add(a4.Scale(complex(c[10], 0))).Add(a2.Scale(complex(c[8], 0)))
+		v = a6.Mul(innerV).Add(a6.Scale(complex(c[6], 0))).Add(a4.Scale(complex(c[4], 0))).Add(a2.Scale(complex(c[2], 0))).Add(Identity(n).Scale(complex(c[0], 0)))
+	} else {
+		// U = A·Σ c[2k+1] A^{2k}, V = Σ c[2k] A^{2k}.
+		pow := Identity(n)
+		usum := NewMatrix(n, n)
+		vsum := NewMatrix(n, n)
+		for k := 0; 2*k <= m; k++ {
+			if 2*k+1 <= m {
+				usum.AddInPlace(pow.Scale(complex(c[2*k+1], 0)))
+			}
+			vsum.AddInPlace(pow.Scale(complex(c[2*k], 0)))
+			if 2*(k+1) <= m {
+				pow = pow.Mul(a2)
+			}
+		}
+		u = a.Mul(usum)
+		v = vsum
+	}
+	// e^A ≈ (V - U)⁻¹ (V + U)
+	num := v.Add(u)
+	den := v.Sub(u)
+	f, err := LUDecompose(den)
+	if err != nil {
+		panic("linalg: Expm Padé denominator singular")
+	}
+	return f.SolveMatrix(num)
+}
+
+// ExpIHermitian returns e^{i·s·H} for Hermitian H via eigendecomposition.
+// This is the preferred exponential for Hamiltonian propagators (exactly
+// unitary up to eigensolver accuracy, and cheaper than Padé when the
+// same H is exponentiated at several scales).
+func ExpIHermitian(h *Matrix, s float64) *Matrix {
+	vals, vecs := EigHermitian(h)
+	return expIFromEig(vals, vecs, s)
+}
+
+// HermitianEig bundles a reusable eigendecomposition of a Hermitian
+// matrix.
+type HermitianEig struct {
+	Vals []float64
+	Vecs *Matrix
+}
+
+// NewHermitianEig eagerly diagonalizes h.
+func NewHermitianEig(h *Matrix) *HermitianEig {
+	vals, vecs := EigHermitian(h)
+	return &HermitianEig{Vals: vals, Vecs: vecs}
+}
+
+// ExpI returns e^{i·s·H} from the stored eigendecomposition.
+func (e *HermitianEig) ExpI(s float64) *Matrix {
+	return expIFromEig(e.Vals, e.Vecs, s)
+}
+
+func expIFromEig(vals []float64, vecs *Matrix, s float64) *Matrix {
+	n := len(vals)
+	// V · diag(e^{i s λ}) · V†
+	out := NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		ph := cmplx.Exp(complex(0, s*vals[k]))
+		for i := 0; i < n; i++ {
+			vik := vecs.At(i, k) * ph
+			if vik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += vik * cmplx.Conj(vecs.At(j, k))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package optimize
+
+import (
+	"math"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+)
+
+// Peephole repeatedly applies local rewrites — inverse-pair
+// cancellation, rotation merging, H·R·H basis flips — using gate
+// commutation to bring partners together, until a fixed point. The
+// result implements the same unitary up to global phase.
+func Peephole(c *circuit.Circuit) *circuit.Circuit {
+	ops := append([]circuit.Op(nil), c.Ops...)
+	for changed := true; changed; {
+		changed = false
+		if next, ok := cancelPass(ops, c.NumQubits); ok {
+			ops = next
+			changed = true
+		}
+		if next, ok := hConjugationPass(ops); ok {
+			ops = next
+			changed = true
+		}
+	}
+	out := circuit.New(c.NumQubits)
+	out.Ops = ops
+	return out
+}
+
+// cancelPass finds one cancel/merge opportunity and applies it.
+func cancelPass(ops []circuit.Op, n int) ([]circuit.Op, bool) {
+	for i := 0; i < len(ops); i++ {
+		for j := i + 1; j < len(ops); j++ {
+			if disjoint(ops[i], ops[j]) {
+				continue
+			}
+			if merged, drop := tryMerge(ops[i], ops[j]); drop || merged != nil {
+				out := make([]circuit.Op, 0, len(ops))
+				out = append(out, ops[:i]...)
+				if merged != nil {
+					out = append(out, *merged)
+				}
+				out = append(out, ops[i+1:j]...)
+				out = append(out, ops[j+1:]...)
+				return out, true
+			}
+			if !commutes(ops[i], ops[j]) {
+				break
+			}
+		}
+	}
+	return ops, false
+}
+
+// hConjugationPass rewrites H·RZ(θ)·H → RX(θ) and H·RX(θ)·H → RZ(θ)
+// on a single qubit when the three ops are adjacent in the qubit's
+// timeline.
+func hConjugationPass(ops []circuit.Op) ([]circuit.Op, bool) {
+	for i := 0; i < len(ops); i++ {
+		if ops[i].G.Kind != gate.H {
+			continue
+		}
+		q := ops[i].Qubits[0]
+		j := nextOnQubit(ops, i, q)
+		if j < 0 {
+			continue
+		}
+		mid := ops[j]
+		if (mid.G.Kind != gate.RZ && mid.G.Kind != gate.RX) || mid.Qubits[0] != q {
+			continue
+		}
+		k := nextOnQubit(ops, j, q)
+		if k < 0 || ops[k].G.Kind != gate.H {
+			continue
+		}
+		newKind := gate.RX
+		if mid.G.Kind == gate.RX {
+			newKind = gate.RZ
+		}
+		out := make([]circuit.Op, 0, len(ops)-2)
+		for idx, op := range ops {
+			switch idx {
+			case i, k:
+				// drop the Hadamards
+			case j:
+				out = append(out, circuit.NewOp(gate.New(newKind, mid.G.Params[0]), q))
+			default:
+				out = append(out, op)
+			}
+		}
+		return out, true
+	}
+	return ops, false
+}
+
+// nextOnQubit returns the index of the next op after i that touches
+// qubit q, or -1 if an intervening multi-qubit op on q blocks or none
+// exists. Ops not touching q are skipped.
+func nextOnQubit(ops []circuit.Op, i, q int) int {
+	for j := i + 1; j < len(ops); j++ {
+		for _, oq := range ops[j].Qubits {
+			if oq == q {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+func disjoint(a, b circuit.Op) bool { return !overlap(a, b) }
+
+func overlap(a, b circuit.Op) bool {
+	for _, qa := range a.Qubits {
+		for _, qb := range b.Qubits {
+			if qa == qb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tryMerge returns (replacement, true) if a and b cancel entirely, or
+// (merged op, false) if they merge into one op; (nil, false) otherwise.
+func tryMerge(a, b circuit.Op) (*circuit.Op, bool) {
+	if !sameQubits(a, b) {
+		// CZ and SWAP are symmetric: allow reversed operands.
+		if (a.G.Kind == gate.CZ || a.G.Kind == gate.SWAP) && a.G.Kind == b.G.Kind &&
+			len(a.Qubits) == 2 && a.Qubits[0] == b.Qubits[1] && a.Qubits[1] == b.Qubits[0] {
+			return nil, true
+		}
+		return nil, false
+	}
+	if a.G.Kind != b.G.Kind {
+		return nil, false
+	}
+	switch a.G.Kind {
+	case gate.H, gate.X, gate.Y, gate.Z, gate.CX, gate.CY, gate.CZ, gate.CH, gate.SWAP, gate.CCX, gate.CSWP:
+		return nil, true
+	case gate.S:
+		op := circuit.NewOp(gate.New(gate.Z), a.Qubits[0])
+		return &op, false
+	case gate.Sdg:
+		op := circuit.NewOp(gate.New(gate.Z), a.Qubits[0])
+		return &op, false
+	case gate.T:
+		op := circuit.NewOp(gate.New(gate.S), a.Qubits[0])
+		return &op, false
+	case gate.Tdg:
+		op := circuit.NewOp(gate.New(gate.Sdg), a.Qubits[0])
+		return &op, false
+	case gate.RX, gate.RY, gate.RZ, gate.P, gate.U1, gate.CRX, gate.CRY, gate.CRZ, gate.CP, gate.RXX, gate.RZZ:
+		sum := a.G.Params[0] + b.G.Params[0]
+		if zeroMod2Pi(sum) {
+			return nil, true
+		}
+		op := circuit.NewOp(gate.New(a.G.Kind, normAngle(sum)), a.Qubits...)
+		return &op, false
+	}
+	return nil, false
+}
+
+func sameQubits(a, b circuit.Op) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// commutes reports whether two overlapping ops commute, using standard
+// structural rules (both diagonal; RZ-like on a CX control; RX/X on a
+// CX target; CXs sharing only controls or only targets).
+func commutes(a, b circuit.Op) bool {
+	if a.G.IsDiagonal() && b.G.IsDiagonal() {
+		return true
+	}
+	if ok, done := cxCommute(a, b); done {
+		return ok
+	}
+	if ok, done := cxCommute(b, a); done {
+		return ok
+	}
+	return false
+}
+
+// cxCommute handles the cases where a is a CX; done=false means the
+// rule does not apply.
+func cxCommute(a, b circuit.Op) (ok, done bool) {
+	if a.G.Kind != gate.CX {
+		return false, false
+	}
+	ctrl, tgt := a.Qubits[0], a.Qubits[1]
+	if len(b.Qubits) == 1 {
+		q := b.Qubits[0]
+		if q == ctrl {
+			return b.G.IsDiagonal(), true
+		}
+		if q == tgt {
+			k := b.G.Kind
+			return k == gate.X || k == gate.RX || k == gate.SX || k == gate.SXdg || k == gate.I, true
+		}
+		return false, true
+	}
+	if b.G.Kind == gate.CX {
+		bc, bt := b.Qubits[0], b.Qubits[1]
+		if ctrl == bc && tgt != bt {
+			return true, true
+		}
+		if tgt == bt && ctrl != bc {
+			return true, true
+		}
+		if ctrl == bc && tgt == bt {
+			return true, true // identical CX commutes with itself
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// MergeSingleQubitRuns collapses every maximal run of 1-qubit gates on
+// a qubit into at most one U3 gate. Runs whose product is the identity
+// (up to phase) vanish entirely.
+func MergeSingleQubitRuns(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.NumQubits)
+	type run struct {
+		ops []circuit.Op
+	}
+	pending := make(map[int]*run)
+	flush := func(q int) {
+		r := pending[q]
+		if r == nil {
+			return
+		}
+		delete(pending, q)
+		if len(r.ops) == 0 {
+			return
+		}
+		// Product of the run (later ops multiply on the left).
+		u := r.ops[0].G.Matrix()
+		for _, op := range r.ops[1:] {
+			u = op.G.Matrix().Mul(u)
+		}
+		_, beta, gamma, delta := zyzAngles(u)
+		if zeroMod2Pi(beta) && zeroMod2Pi(gamma) && zeroMod2Pi(delta) {
+			return // identity up to phase
+		}
+		out.Append(gate.New(gate.U3, gamma, beta, delta), q)
+	}
+	for _, op := range c.Ops {
+		if len(op.Qubits) == 1 && !op.G.IsBlock() {
+			q := op.Qubits[0]
+			if pending[q] == nil {
+				pending[q] = &run{}
+			}
+			pending[q].ops = append(pending[q].ops, op)
+			continue
+		}
+		for _, q := range op.Qubits {
+			flush(q)
+		}
+		out.AppendOp(op)
+	}
+	for q := 0; q < c.NumQubits; q++ {
+		flush(q)
+	}
+	return out
+}
+
+func normAngle(theta float64) float64 {
+	m := math.Mod(theta, 2*math.Pi)
+	if m > math.Pi {
+		m -= 2 * math.Pi
+	}
+	if m < -math.Pi {
+		m += 2 * math.Pi
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+package pulse
+
+// ALAPStarts returns the as-late-as-possible start time of every item
+// (same order as Items) for the schedule's existing latency: each
+// pulse is pushed right until it meets its successors. Comparing with
+// the ASAP starts gives per-pulse slack.
+func (s *Schedule) ALAPStarts() []float64 {
+	back := make([]float64, s.NumQubits)
+	for q := range back {
+		back[q] = s.Latency
+	}
+	starts := make([]float64, len(s.Items))
+	for i := len(s.Items) - 1; i >= 0; i-- {
+		it := s.Items[i]
+		end := s.Latency
+		for _, q := range it.Pulse.Qubits {
+			if back[q] < end {
+				end = back[q]
+			}
+		}
+		start := end - it.Pulse.Duration
+		starts[i] = start
+		for _, q := range it.Pulse.Qubits {
+			back[q] = start
+		}
+	}
+	return starts
+}
+
+// Slack returns, per item, how far the pulse could slide right without
+// growing the schedule (ALAP start − ASAP start). Zero-slack pulses
+// form the critical path.
+func (s *Schedule) Slack() []float64 {
+	alap := s.ALAPStarts()
+	out := make([]float64, len(s.Items))
+	for i, it := range s.Items {
+		out[i] = alap[i] - it.Start
+		if out[i] < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// CriticalPulses returns the indices of zero-slack items — the chain
+// that determines the schedule latency and the first target for
+// further optimization.
+func (s *Schedule) CriticalPulses() []int {
+	var out []int
+	for i, sl := range s.Slack() {
+		if sl < 1e-9 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package pulse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestALAPSerialChainHasNoSlack(t *testing.T) {
+	s := NewSchedule(1)
+	s.Add(mk("a", 10, 0))
+	s.Add(mk("b", 20, 0))
+	s.Add(mk("c", 30, 0))
+	for i, sl := range s.Slack() {
+		if sl > 1e-12 {
+			t.Fatalf("serial item %d has slack %v", i, sl)
+		}
+	}
+	crit := s.CriticalPulses()
+	if len(crit) != 3 {
+		t.Fatalf("critical pulses: %v", crit)
+	}
+}
+
+func TestALAPParallelShortBranchHasSlack(t *testing.T) {
+	s := NewSchedule(2)
+	s.Add(mk("long", 100, 0))
+	s.Add(mk("short", 30, 1))
+	sl := s.Slack()
+	if sl[0] > 1e-12 {
+		t.Fatalf("long pulse slack %v", sl[0])
+	}
+	if math.Abs(sl[1]-70) > 1e-12 {
+		t.Fatalf("short pulse slack %v, want 70", sl[1])
+	}
+}
+
+func TestALAPDiamond(t *testing.T) {
+	// q0: a(10) then joint(50); q1: b(40) then joint. a has 30 slack.
+	s := NewSchedule(2)
+	s.Add(mk("a", 10, 0))
+	s.Add(mk("b", 40, 1))
+	s.Add(mk("j", 50, 0, 1))
+	sl := s.Slack()
+	if math.Abs(sl[0]-30) > 1e-12 {
+		t.Fatalf("a slack %v, want 30", sl[0])
+	}
+	if sl[1] > 1e-12 || sl[2] > 1e-12 {
+		t.Fatalf("b/j should be critical: %v", sl)
+	}
+}
+
+func TestQuickALAPRespectsDependencies(t *testing.T) {
+	// ALAP starts must never precede the ASAP starts, and items sharing
+	// a qubit must stay disjoint at their ALAP positions.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		s := NewSchedule(n)
+		for i := 0; i < 15; i++ {
+			q := rng.Intn(n)
+			qs := []int{q}
+			if rng.Intn(2) == 0 {
+				qs = append(qs, (q+1)%n)
+			}
+			s.Add(mk("p", 5+rng.Float64()*40, qs...))
+		}
+		alap := s.ALAPStarts()
+		for i, it := range s.Items {
+			if alap[i] < it.Start-1e-9 {
+				return false
+			}
+			if alap[i]+it.Pulse.Duration > s.Latency+1e-9 {
+				return false
+			}
+		}
+		for i := 0; i < len(s.Items); i++ {
+			for j := i + 1; j < len(s.Items); j++ {
+				if !shareQubit(s.Items[i], s.Items[j]) {
+					continue
+				}
+				ai, aj := alap[i], alap[j]
+				di := s.Items[i].Pulse.Duration
+				dj := s.Items[j].Pulse.Duration
+				if ai < aj+dj-1e-9 && aj < ai+di-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPulsesNonEmpty(t *testing.T) {
+	s := NewSchedule(3)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10; i++ {
+		q := rng.Intn(3)
+		s.Add(mk("p", 10+rng.Float64()*50, q))
+	}
+	if len(s.CriticalPulses()) == 0 {
+		t.Fatal("every schedule has a critical path")
+	}
+}

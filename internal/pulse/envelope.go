@@ -1,0 +1,113 @@
+package pulse
+
+import "math"
+
+// Envelope shapes for analytic (calibrated) pulses, as used by real
+// superconducting backends: Gaussian for single-qubit drives (with an
+// optional DRAG quadrature) and flat-top GaussianSquare for coupler
+// pulses. Sampling returns piecewise-constant amplitudes compatible
+// with the qoc control model, so analytic pulses and GRAPE pulses are
+// interchangeable in schedules and simulations.
+
+// Gaussian samples a Gaussian envelope of the given duration whose
+// time-integral equals area (the rotation angle for a σ/2 drive). The
+// standard deviation is duration/4, truncated at ±2σ and lifted so the
+// endpoints are zero.
+func Gaussian(area, duration, dt float64) []float64 {
+	slots := int(math.Round(duration / dt))
+	if slots < 1 {
+		slots = 1
+	}
+	sigma := duration / 4
+	mid := duration / 2
+	raw := make([]float64, slots)
+	edge := math.Exp(-0.5 * math.Pow(duration/2/sigma, 2))
+	sum := 0.0
+	for k := 0; k < slots; k++ {
+		t := (float64(k) + 0.5) * dt
+		v := math.Exp(-0.5*math.Pow((t-mid)/sigma, 2)) - edge
+		if v < 0 {
+			v = 0
+		}
+		raw[k] = v
+		sum += v * dt
+	}
+	if sum == 0 {
+		return raw
+	}
+	scale := area / sum
+	for k := range raw {
+		raw[k] *= scale
+	}
+	return raw
+}
+
+// GaussianSquare samples a flat-top envelope: Gaussian rise and fall
+// of the given edge duration around a flat plateau, normalized so the
+// integral equals area.
+func GaussianSquare(area, duration, edge, dt float64) []float64 {
+	slots := int(math.Round(duration / dt))
+	if slots < 1 {
+		slots = 1
+	}
+	if edge*2 > duration {
+		edge = duration / 2
+	}
+	sigma := edge / 2
+	raw := make([]float64, slots)
+	sum := 0.0
+	for k := 0; k < slots; k++ {
+		t := (float64(k) + 0.5) * dt
+		v := 1.0
+		switch {
+		case t < edge && sigma > 0:
+			v = math.Exp(-0.5 * math.Pow((t-edge)/sigma, 2))
+		case t > duration-edge && sigma > 0:
+			v = math.Exp(-0.5 * math.Pow((t-(duration-edge))/sigma, 2))
+		}
+		raw[k] = v
+		sum += v * dt
+	}
+	scale := area / sum
+	for k := range raw {
+		raw[k] *= scale
+	}
+	return raw
+}
+
+// DRAG samples a DRAG pulse: a Gaussian in-phase component with area
+// theta plus a derivative-shaped quadrature scaled by beta (the
+// leakage-suppression coefficient on anharmonic transmons). The result
+// is [slot][2]: I (X drive) and Q (Y drive) amplitudes.
+func DRAG(theta, duration, dt, beta float64) [][]float64 {
+	i := Gaussian(theta, duration, dt)
+	out := make([][]float64, len(i))
+	for k := range i {
+		out[k] = make([]float64, 2)
+		out[k][0] = i[k]
+		// Central-difference derivative of the sampled envelope.
+		var d float64
+		switch {
+		case k == 0 && len(i) > 1:
+			d = (i[1] - 0) / (2 * dt)
+		case k == len(i)-1 && len(i) > 1:
+			d = (0 - i[k-1]) / (2 * dt)
+		case len(i) > 2:
+			d = (i[k+1] - i[k-1]) / (2 * dt)
+		}
+		out[k][1] = -beta * d
+	}
+	return out
+}
+
+// MaxAbsAmplitude returns the largest |amplitude| in a sampled
+// envelope, for checking hardware bounds.
+func MaxAbsAmplitude(samples []float64) float64 {
+	m := 0.0
+	for _, v := range samples {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,53 @@
+package pulse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the schedule as an ASCII timeline, one row per qubit
+// line, width columns wide. Pulses are drawn as blocks labelled with
+// their first letter; '.' marks idle time. Multi-qubit pulses appear
+// on every involved line at the same columns, which makes alignment
+// and utilization visible at a glance.
+func (s *Schedule) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if s.Latency == 0 || len(s.Items) == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / s.Latency
+	rows := make([][]byte, s.NumQubits)
+	for q := range rows {
+		rows[q] = []byte(strings.Repeat(".", width))
+	}
+	items := append([]Item(nil), s.Items...)
+	sort.Slice(items, func(i, j int) bool { return items[i].Start < items[j].Start })
+	for _, it := range items {
+		from := int(it.Start * scale)
+		to := int(it.End() * scale)
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		mark := byte('#')
+		if len(it.Pulse.Label) > 0 {
+			mark = it.Pulse.Label[0]
+		}
+		for _, q := range it.Pulse.Qubits {
+			for x := from; x < to; x++ {
+				rows[q][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "0 ns%*s%.1f ns\n", width-1, "", s.Latency)
+	for q := 0; q < s.NumQubits; q++ {
+		fmt.Fprintf(&b, "q%-3d %s\n", q, rows[q])
+	}
+	return b.String()
+}

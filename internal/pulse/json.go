@@ -1,0 +1,70 @@
+package pulse
+
+import "encoding/json"
+
+// scheduleJSON is the serialized form of a Schedule.
+type scheduleJSON struct {
+	NumQubits int        `json:"num_qubits"`
+	Latency   float64    `json:"latency_ns"`
+	Fidelity  float64    `json:"esp_fidelity"`
+	Items     []itemJSON `json:"pulses"`
+}
+
+type itemJSON struct {
+	Label    string      `json:"label"`
+	Qubits   []int       `json:"qubits"`
+	Start    float64     `json:"start_ns"`
+	Duration float64     `json:"duration_ns"`
+	Fidelity float64     `json:"fidelity"`
+	Slots    int         `json:"slots,omitempty"`
+	Amps     [][]float64 `json:"amplitudes,omitempty"`
+}
+
+// MarshalJSON serializes the schedule, including raw amplitude
+// envelopes when present, for consumption by plotting or AWG tooling.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := scheduleJSON{
+		NumQubits: s.NumQubits,
+		Latency:   s.Latency,
+		Fidelity:  s.TotalFidelity(),
+		Items:     make([]itemJSON, len(s.Items)),
+	}
+	for i, it := range s.Items {
+		out.Items[i] = itemJSON{
+			Label:    it.Pulse.Label,
+			Qubits:   it.Pulse.Qubits,
+			Start:    it.Start,
+			Duration: it.Pulse.Duration,
+			Fidelity: it.Pulse.Fidelity,
+			Slots:    it.Pulse.Slots,
+			Amps:     it.Pulse.Amps,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a schedule serialized by MarshalJSON.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in scheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	s.NumQubits = in.NumQubits
+	s.Latency = in.Latency
+	s.Items = make([]Item, len(in.Items))
+	s.fronts = nil
+	for i, it := range in.Items {
+		s.Items[i] = Item{
+			Start: it.Start,
+			Pulse: &Pulse{
+				Label:    it.Label,
+				Qubits:   it.Qubits,
+				Duration: it.Duration,
+				Fidelity: it.Fidelity,
+				Slots:    it.Slots,
+				Amps:     it.Amps,
+			},
+		}
+	}
+	return nil
+}

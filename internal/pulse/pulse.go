@@ -1,0 +1,219 @@
+// Package pulse models the pulse-level artifacts of compilation:
+// control-pulse descriptors produced by QOC, per-qubit-line ASAP
+// schedules with latency and utilization accounting, and the pulse
+// library — a lookup table keyed by unitary fingerprints (global-phase
+// aware, as in EPOC) that lets compilations reuse previously optimized
+// pulses.
+package pulse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"epoc/internal/linalg"
+)
+
+// Pulse is one optimized control envelope implementing a unitary on a
+// set of qubits.
+type Pulse struct {
+	Label    string      // human-readable origin, e.g. "cx" or "unitary[2q]"
+	Qubits   []int       // global qubits, ascending gate-local order
+	Duration float64     // ns
+	Fidelity float64     // |tr(U†·achieved)|/dim from QOC (1.0 for calibrated gates)
+	Slots    int         // time slots (0 for calibrated analytic pulses)
+	Amps     [][]float64 // optional raw amplitudes [slot][control]
+}
+
+// Item is a pulse placed at a start time in a schedule.
+type Item struct {
+	Pulse *Pulse
+	Start float64
+}
+
+// End returns the item's finish time.
+func (it Item) End() float64 { return it.Start + it.Pulse.Duration }
+
+// Schedule is an ASAP-packed pulse program for a device.
+type Schedule struct {
+	NumQubits int
+	Items     []Item
+	Latency   float64 // ns: finish time of the last pulse
+	fronts    []float64
+}
+
+// NewSchedule creates an empty schedule.
+func NewSchedule(n int) *Schedule {
+	return &Schedule{NumQubits: n}
+}
+
+// Add places a pulse as soon as all its qubit lines are free (ASAP)
+// and returns its start time.
+func (s *Schedule) Add(p *Pulse) float64 {
+	if s.fronts == nil {
+		s.fronts = make([]float64, s.NumQubits)
+	}
+	start := 0.0
+	for _, q := range p.Qubits {
+		if q < 0 || q >= s.NumQubits {
+			panic(fmt.Sprintf("pulse: qubit %d out of range (n=%d)", q, s.NumQubits))
+		}
+		if s.fronts[q] > start {
+			start = s.fronts[q]
+		}
+	}
+	end := start + p.Duration
+	for _, q := range p.Qubits {
+		s.fronts[q] = end
+	}
+	s.Items = append(s.Items, Item{Pulse: p, Start: start})
+	if end > s.Latency {
+		s.Latency = end
+	}
+	return start
+}
+
+// TotalFidelity returns the ESP of the schedule: the product of pulse
+// fidelities (Equation 3 of the paper).
+func (s *Schedule) TotalFidelity() float64 {
+	f := 1.0
+	for _, it := range s.Items {
+		f *= it.Pulse.Fidelity
+	}
+	return f
+}
+
+// Utilization returns, per qubit line, the fraction of the schedule's
+// latency during which a pulse drives that line.
+func (s *Schedule) Utilization() []float64 {
+	busy := make([]float64, s.NumQubits)
+	for _, it := range s.Items {
+		for _, q := range it.Pulse.Qubits {
+			busy[q] += it.Pulse.Duration
+		}
+	}
+	out := make([]float64, s.NumQubits)
+	if s.Latency == 0 {
+		return out
+	}
+	for q := range out {
+		out[q] = busy[q] / s.Latency
+	}
+	return out
+}
+
+// String renders the schedule as a timeline table.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule(%d qubits, %d pulses, latency %.1f ns)\n", s.NumQubits, len(s.Items), s.Latency)
+	items := append([]Item(nil), s.Items...)
+	sort.Slice(items, func(i, j int) bool { return items[i].Start < items[j].Start })
+	for _, it := range items {
+		fmt.Fprintf(&b, "  %8.1f - %8.1f  %-14s q%v  F=%.5f\n",
+			it.Start, it.End(), it.Pulse.Label, it.Pulse.Qubits, it.Pulse.Fidelity)
+	}
+	return b.String()
+}
+
+// Library caches optimized pulses by unitary fingerprint. With
+// MatchGlobalPhase (EPOC's improvement over AccQOC/PAQOC), unitaries
+// equal up to a global phase share an entry, raising the hit rate.
+// Every hit is verified against the stored unitary, so fingerprint
+// collisions degrade to misses instead of wrong pulses.
+type Library struct {
+	MatchGlobalPhase bool
+	entries          map[string][]libEntry
+	Hits, Misses     int
+}
+
+type libEntry struct {
+	u *linalg.Matrix
+	p *Pulse
+}
+
+// NewLibrary returns an empty library; matchGlobalPhase selects the
+// EPOC keying behaviour.
+func NewLibrary(matchGlobalPhase bool) *Library {
+	return &Library{MatchGlobalPhase: matchGlobalPhase, entries: map[string][]libEntry{}}
+}
+
+// key fingerprints a unitary. Without global-phase matching the raw
+// rounded entries are used, so e^{iφ}·U and U key differently.
+func (l *Library) key(u *linalg.Matrix) string {
+	if l.MatchGlobalPhase {
+		return linalg.Fingerprint(u)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d:", u.Rows, u.Cols)
+	for _, v := range u.Data {
+		fmt.Fprintf(&b, "%.5f,%.5f;", real(v), imag(v))
+	}
+	return b.String()
+}
+
+// matchTol bounds the verified distance between a looked-up unitary
+// and a stored entry. Entries farther than this are fingerprint
+// collisions and are skipped.
+const matchTol = 1e-4
+
+// find returns the verified entry for u, if any.
+func (l *Library) find(u *linalg.Matrix) (*Pulse, bool) {
+	for _, e := range l.entries[l.key(u)] {
+		if e.u.Rows != u.Rows {
+			continue
+		}
+		var d float64
+		if l.MatchGlobalPhase {
+			d = linalg.PhaseDistance(e.u, u)
+		} else {
+			d = linalg.FrobeniusDistance(e.u, u) / float64(u.Rows)
+		}
+		if d < matchTol {
+			return e.p, true
+		}
+	}
+	return nil, false
+}
+
+// Lookup returns the cached pulse for a unitary, counting hit/miss.
+func (l *Library) Lookup(u *linalg.Matrix) (*Pulse, bool) {
+	p, ok := l.find(u)
+	if ok {
+		l.Hits++
+	} else {
+		l.Misses++
+	}
+	return p, ok
+}
+
+// Peek reports whether a pulse is cached without touching the hit/miss
+// counters (used by prefill passes).
+func (l *Library) Peek(u *linalg.Matrix) bool {
+	_, ok := l.find(u)
+	return ok
+}
+
+// Store caches a pulse under the unitary's key, keeping a copy of the
+// unitary for hit verification.
+func (l *Library) Store(u *linalg.Matrix, p *Pulse) {
+	k := l.key(u)
+	l.entries[k] = append(l.entries[k], libEntry{u: u.Clone(), p: p})
+}
+
+// Len returns the number of cached entries.
+func (l *Library) Len() int {
+	n := 0
+	for _, es := range l.entries {
+		n += len(es)
+	}
+	return n
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (l *Library) HitRate() float64 {
+	total := l.Hits + l.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Hits) / float64(total)
+}

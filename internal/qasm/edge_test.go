@@ -1,0 +1,160 @@
+package qasm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpressionFunctions(t *testing.T) {
+	prog, err := Parse(`
+qreg q[1];
+rz(sin(pi/2)) q[0];
+rz(cos(pi)) q[0];
+rz(tan(0)) q[0];
+rz(exp(0)) q[0];
+rz(ln(1) + 1) q[0];
+rz(sqrt(4)) q[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -1, 0, 1, 1, 2}
+	for i, w := range want {
+		if got := prog.Circuit.Ops[i].G.Params[0]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("op %d param %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestExpressionParenthesesAndPrecedence(t *testing.T) {
+	prog, err := Parse(`
+qreg q[1];
+rz((1+2)*3) q[0];
+rz(1+2*3) q[0];
+rz(2^3^1) q[0];
+rz(-(1+1)) q[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 7, 8, -2}
+	for i, w := range want {
+		if got := prog.Circuit.Ops[i].G.Params[0]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("op %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestExpressionErrors(t *testing.T) {
+	cases := []string{
+		"qreg q[1]; rz(foo(1)) q[0];",  // unknown function
+		"qreg q[1]; rz(1+) q[0];",      // dangling operator
+		"qreg q[1]; rz((1) q[0];",      // unbalanced paren
+		"qreg q[1]; rz(;) q[0];",       // junk token in expression
+		"qreg q[1]; rz(ln(0-1)) q[0];", // NaN is still a number; ensure parse path ok
+	}
+	for i, src := range cases {
+		_, err := Parse(src)
+		if i == len(cases)-1 {
+			if err != nil {
+				t.Errorf("case %d should parse (value is NaN but syntax valid): %v", i, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("case %d: expected error for %q", i, src)
+		}
+	}
+}
+
+func TestLexerEdgeCases(t *testing.T) {
+	// Unterminated string.
+	if _, err := Parse(`include "qelib1.inc;`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	// Unexpected character.
+	if _, err := Parse(`qreg q[1]; x q[0]; @`); err == nil {
+		t.Error("stray @ accepted")
+	}
+	// Scientific notation with signs.
+	prog, err := Parse("qreg q[1]; rz(1.5e-2) q[0]; rz(2E+1) q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prog.Circuit.Ops[0].G.Params[0]-0.015) > 1e-12 {
+		t.Errorf("exponent parse: %v", prog.Circuit.Ops[0].G.Params[0])
+	}
+	if math.Abs(prog.Circuit.Ops[1].G.Params[0]-20) > 1e-12 {
+		t.Errorf("uppercase exponent parse: %v", prog.Circuit.Ops[1].G.Params[0])
+	}
+}
+
+func TestGateDefErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated body": "qreg q[1]; gate foo a { x a;",
+		"body bad gate":     "qreg q[1]; gate foo a { nope a; } foo q[0];",
+		"recursive gate":    "qreg q[1]; gate foo a { foo a; } foo q[0];",
+		"arity mismatch":    "qreg q[2]; gate foo a { x a; } foo q[0], q[1];",
+		"param mismatch":    "qreg q[1]; gate foo(t) a { rz(t) a; } foo q[0];",
+		"formal indexed":    "qreg q[1]; gate foo a { x a[0]; } foo q[0];",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestProgramLevelErrors(t *testing.T) {
+	cases := map[string]string{
+		"statement not ident":  "qreg q[1]; ; x q[0];",
+		"include not string":   "include qelib1;",
+		"broadcast mismatch":   "qreg a[2]; qreg b[3]; cx a, b;",
+		"version garbage":      "OPENQASM two;",
+		"gate call no qubits":  "qreg q[1]; x ;",
+		"measure unterminated": "qreg q[1]; creg c[1]; measure q[0] -> c[0]",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestBroadcastMultiRegister(t *testing.T) {
+	// Two same-size registers broadcast elementwise.
+	prog, err := Parse("qreg a[3]; qreg b[3]; cx a, b;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 3 {
+		t.Fatalf("broadcast cx count %d", prog.Circuit.Len())
+	}
+	for i, op := range prog.Circuit.Ops {
+		if op.Qubits[0] != i || op.Qubits[1] != i+3 {
+			t.Fatalf("broadcast pair %d: %v", i, op.Qubits)
+		}
+	}
+	// Mixed indexed + broadcast.
+	prog, err = Parse("qreg a[1]; qreg b[3]; cx a[0], b;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 3 {
+		t.Fatalf("mixed broadcast count %d", prog.Circuit.Len())
+	}
+}
+
+func TestGateBodyBarrierSkipped(t *testing.T) {
+	prog, err := Parse(`
+qreg q[2];
+gate foo a, b { x a; barrier a, b; x b; }
+foo q[0], q[1];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 2 {
+		t.Fatalf("gate-body barrier mishandled: %d ops", prog.Circuit.Len())
+	}
+}

@@ -1,0 +1,634 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+)
+
+// Program is the result of parsing a QASM source: a flat circuit over
+// all declared quantum registers plus bookkeeping about the registers.
+type Program struct {
+	Circuit  *circuit.Circuit
+	QRegs    []Register
+	CRegs    []Register
+	Measures int // number of measure statements skipped
+	Barriers int // number of barrier statements skipped
+}
+
+// Register is a named quantum or classical register with its offset in
+// the flattened qubit numbering.
+type Register struct {
+	Name   string
+	Size   int
+	Offset int
+}
+
+// gateDef is a user-defined gate body, expanded at application time.
+type gateDef struct {
+	params []string
+	qargs  []string
+	body   []gateCall
+}
+
+// gateCall is one statement inside a gate body or the main program.
+type gateCall struct {
+	name  string
+	exprs []expr
+	qargs []qref
+	line  int
+}
+
+// qref names a qubit operand: a register (possibly indexed) or a formal
+// gate argument.
+type qref struct {
+	name    string
+	index   int
+	indexed bool
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	qregs  map[string]*Register
+	cregs  map[string]*Register
+	defs   map[string]*gateDef
+	prog   *Program
+	nQubit int
+}
+
+// Parse compiles QASM source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:  toks,
+		qregs: map[string]*Register{},
+		cregs: map[string]*Register{},
+		defs:  map[string]*gateDef{},
+		prog:  &Program{},
+	}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("qasm: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.cur().kind != tokSymbol || p.cur().text != s {
+		return p.errf("expected %q, got %q", s, p.cur().text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.cur().text)
+	}
+	s := p.cur().text
+	p.advance()
+	return s, nil
+}
+
+func (p *parser) parseProgram() error {
+	// Optional OPENQASM header.
+	if p.cur().kind == tokIdent && p.cur().text == "OPENQASM" {
+		p.advance()
+		if p.cur().kind != tokNumber {
+			return p.errf("expected version number")
+		}
+		p.advance()
+		if err := p.expectSymbol(";"); err != nil {
+			return err
+		}
+	}
+	var calls []gateCall
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return p.errf("expected statement, got %q", t.text)
+		}
+		switch t.text {
+		case "include":
+			p.advance()
+			if p.cur().kind != tokString {
+				return p.errf("expected include path string")
+			}
+			p.advance()
+			if err := p.expectSymbol(";"); err != nil {
+				return err
+			}
+		case "qreg", "creg":
+			if err := p.parseReg(t.text == "qreg"); err != nil {
+				return err
+			}
+		case "gate":
+			if err := p.parseGateDef(); err != nil {
+				return err
+			}
+		case "measure":
+			if err := p.skipToSemicolon(); err != nil {
+				return err
+			}
+			p.prog.Measures++
+		case "barrier":
+			if err := p.skipToSemicolon(); err != nil {
+				return err
+			}
+			p.prog.Barriers++
+		case "if", "reset", "opaque":
+			return p.errf("unsupported statement %q", t.text)
+		default:
+			call, err := p.parseGateCall()
+			if err != nil {
+				return err
+			}
+			calls = append(calls, call)
+		}
+	}
+	// Build the flat circuit.
+	c := circuit.New(p.nQubit)
+	env := &evalEnv{params: map[string]float64{}}
+	for _, call := range calls {
+		if err := p.emitCall(c, call, env, nil, 0); err != nil {
+			return err
+		}
+	}
+	p.prog.Circuit = c
+	return nil
+}
+
+func (p *parser) skipToSemicolon() error {
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokSymbol && p.cur().text == ";" {
+			p.advance()
+			return nil
+		}
+		p.advance()
+	}
+	return p.errf("missing semicolon")
+}
+
+func (p *parser) parseReg(quantum bool) error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol("["); err != nil {
+		return err
+	}
+	if p.cur().kind != tokNumber {
+		return p.errf("expected register size")
+	}
+	size, err := strconv.Atoi(p.cur().text)
+	if err != nil || size <= 0 {
+		return p.errf("bad register size %q", p.cur().text)
+	}
+	p.advance()
+	if err := p.expectSymbol("]"); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	reg := Register{Name: name, Size: size}
+	if quantum {
+		if _, dup := p.qregs[name]; dup {
+			return p.errf("duplicate qreg %q", name)
+		}
+		reg.Offset = p.nQubit
+		p.nQubit += size
+		p.qregs[name] = &reg
+		p.prog.QRegs = append(p.prog.QRegs, reg)
+	} else {
+		p.cregs[name] = &reg
+		p.prog.CRegs = append(p.prog.CRegs, reg)
+	}
+	return nil
+}
+
+func (p *parser) parseGateDef() error {
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	def := &gateDef{}
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		p.advance()
+		for p.cur().kind == tokIdent {
+			def.params = append(def.params, p.cur().text)
+			p.advance()
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+	}
+	for p.cur().kind == tokIdent {
+		def.qargs = append(def.qargs, p.cur().text)
+		p.advance()
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+		} else {
+			break
+		}
+	}
+	if err := p.expectSymbol("{"); err != nil {
+		return err
+	}
+	for !(p.cur().kind == tokSymbol && p.cur().text == "}") {
+		if p.cur().kind == tokEOF {
+			return p.errf("unterminated gate body for %q", name)
+		}
+		if p.cur().kind == tokIdent && p.cur().text == "barrier" {
+			if err := p.skipToSemicolon(); err != nil {
+				return err
+			}
+			continue
+		}
+		call, err := p.parseGateCall()
+		if err != nil {
+			return err
+		}
+		def.body = append(def.body, call)
+	}
+	p.advance() // consume }
+	p.defs[name] = def
+	return nil
+}
+
+func (p *parser) parseGateCall() (gateCall, error) {
+	call := gateCall{line: p.cur().line}
+	name, err := p.expectIdent()
+	if err != nil {
+		return call, err
+	}
+	call.name = name
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		p.advance()
+		for !(p.cur().kind == tokSymbol && p.cur().text == ")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return call, err
+			}
+			call.exprs = append(call.exprs, e)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.advance()
+			}
+		}
+		p.advance() // consume )
+	}
+	for {
+		if p.cur().kind != tokIdent {
+			return call, p.errf("expected qubit operand for %q", name)
+		}
+		ref := qref{name: p.cur().text}
+		p.advance()
+		if p.cur().kind == tokSymbol && p.cur().text == "[" {
+			p.advance()
+			if p.cur().kind != tokNumber {
+				return call, p.errf("expected qubit index")
+			}
+			idx, err := strconv.Atoi(p.cur().text)
+			if err != nil {
+				return call, p.errf("bad qubit index %q", p.cur().text)
+			}
+			ref.index = idx
+			ref.indexed = true
+			p.advance()
+			if err := p.expectSymbol("]"); err != nil {
+				return call, err
+			}
+		}
+		call.qargs = append(call.qargs, ref)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return call, err
+	}
+	return call, nil
+}
+
+// kindFor maps a QASM gate name to the internal gate kind.
+var kindFor = map[string]gate.Kind{
+	"id": gate.I, "x": gate.X, "y": gate.Y, "z": gate.Z, "h": gate.H,
+	"s": gate.S, "sdg": gate.Sdg, "t": gate.T, "tdg": gate.Tdg,
+	"sx": gate.SX, "sxdg": gate.SXdg,
+	"rx": gate.RX, "ry": gate.RY, "rz": gate.RZ, "p": gate.P,
+	"u1": gate.U1, "u2": gate.U2, "u3": gate.U3, "u": gate.U3,
+	"cx": gate.CX, "CX": gate.CX, "cy": gate.CY, "cz": gate.CZ, "ch": gate.CH,
+	"crx": gate.CRX, "cry": gate.CRY, "crz": gate.CRZ, "cp": gate.CP, "cu1": gate.CP,
+	"rxx": gate.RXX, "rzz": gate.RZZ,
+	"swap": gate.SWAP, "ccx": gate.CCX, "cswap": gate.CSWP,
+}
+
+type evalEnv struct {
+	params map[string]float64
+}
+
+// emitCall expands a gate call into circuit ops, resolving formal qubit
+// arguments against binding (nil at top level) and handling register
+// broadcasting.
+func (p *parser) emitCall(c *circuit.Circuit, call gateCall, env *evalEnv, binding map[string]int, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("qasm: line %d: gate expansion too deep (recursive definition?)", call.line)
+	}
+	// Evaluate parameters in the current environment.
+	params := make([]float64, len(call.exprs))
+	for i, e := range call.exprs {
+		v, err := e.eval(env)
+		if err != nil {
+			return fmt.Errorf("qasm: line %d: %v", call.line, err)
+		}
+		params[i] = v
+	}
+
+	// Resolve qubit operands. Top level may broadcast whole registers.
+	if binding == nil {
+		broadcast := 0
+		for _, ref := range call.qargs {
+			reg, ok := p.qregs[ref.name]
+			if !ok {
+				return fmt.Errorf("qasm: line %d: unknown qreg %q", call.line, ref.name)
+			}
+			if !ref.indexed {
+				if broadcast != 0 && broadcast != reg.Size {
+					return fmt.Errorf("qasm: line %d: mismatched broadcast sizes", call.line)
+				}
+				broadcast = reg.Size
+			} else if ref.index >= reg.Size {
+				return fmt.Errorf("qasm: line %d: index %d out of range for %q", call.line, ref.index, ref.name)
+			}
+		}
+		reps := broadcast
+		if reps == 0 {
+			reps = 1
+		}
+		for r := 0; r < reps; r++ {
+			qubits := make([]int, len(call.qargs))
+			for i, ref := range call.qargs {
+				reg := p.qregs[ref.name]
+				idx := ref.index
+				if !ref.indexed {
+					idx = r
+				}
+				qubits[i] = reg.Offset + idx
+			}
+			if err := p.applyNamed(c, call, params, qubits, depth); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Inside a gate body: operands are formal names.
+	qubits := make([]int, len(call.qargs))
+	for i, ref := range call.qargs {
+		q, ok := binding[ref.name]
+		if !ok || ref.indexed {
+			return fmt.Errorf("qasm: line %d: unknown gate argument %q", call.line, ref.name)
+		}
+		qubits[i] = q
+	}
+	return p.applyNamed(c, call, params, qubits, depth)
+}
+
+// applyNamed applies a resolved call (concrete params and qubits).
+func (p *parser) applyNamed(c *circuit.Circuit, call gateCall, params []float64, qubits []int, depth int) error {
+	if kind, ok := kindFor[call.name]; ok {
+		spec := gate.Registry[kind]
+		if len(params) != spec.Params || len(qubits) != spec.Qubits {
+			return fmt.Errorf("qasm: line %d: %s expects %d params/%d qubits, got %d/%d",
+				call.line, call.name, spec.Params, spec.Qubits, len(params), len(qubits))
+		}
+		c.Append(gate.New(kind, params...), qubits...)
+		return nil
+	}
+	def, ok := p.defs[call.name]
+	if !ok {
+		return fmt.Errorf("qasm: line %d: unknown gate %q", call.line, call.name)
+	}
+	if len(params) != len(def.params) || len(qubits) != len(def.qargs) {
+		return fmt.Errorf("qasm: line %d: gate %q expects %d params/%d qubits, got %d/%d",
+			call.line, call.name, len(def.params), len(def.qargs), len(params), len(qubits))
+	}
+	env := &evalEnv{params: map[string]float64{}}
+	for i, name := range def.params {
+		env.params[name] = params[i]
+	}
+	binding := map[string]int{}
+	for i, name := range def.qargs {
+		binding[name] = qubits[i]
+	}
+	for _, inner := range def.body {
+		if err := p.emitCall(c, inner, env, binding, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- parameter expressions ---
+
+type expr interface {
+	eval(env *evalEnv) (float64, error)
+}
+
+type numExpr float64
+
+func (n numExpr) eval(*evalEnv) (float64, error) { return float64(n), nil }
+
+type identExpr string
+
+func (id identExpr) eval(env *evalEnv) (float64, error) {
+	if id == "pi" {
+		return math.Pi, nil
+	}
+	if v, ok := env.params[string(id)]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown parameter %q", string(id))
+}
+
+type unaryExpr struct {
+	op string
+	x  expr
+}
+
+func (u unaryExpr) eval(env *evalEnv) (float64, error) {
+	v, err := u.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case "-":
+		return -v, nil
+	case "sin":
+		return math.Sin(v), nil
+	case "cos":
+		return math.Cos(v), nil
+	case "tan":
+		return math.Tan(v), nil
+	case "exp":
+		return math.Exp(v), nil
+	case "ln":
+		return math.Log(v), nil
+	case "sqrt":
+		return math.Sqrt(v), nil
+	}
+	return 0, fmt.Errorf("unknown function %q", u.op)
+}
+
+type binExpr struct {
+	op   string
+	x, y expr
+}
+
+func (b binExpr) eval(env *evalEnv) (float64, error) {
+	x, err := b.x.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	y, err := b.y.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case "+":
+		return x + y, nil
+	case "-":
+		return x - y, nil
+	case "*":
+		return x * y, nil
+	case "/":
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return x / y, nil
+	case "^":
+		return math.Pow(x, y), nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", b.op)
+}
+
+// parseExpr parses an additive expression.
+func (p *parser) parseExpr() (expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.cur().text
+		p.advance()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, x: left, y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokSymbol && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.cur().text
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: op, x: left, y: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.cur().kind == tokSymbol && p.cur().text == "-" {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: "-", x: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (expr, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol && p.cur().text == "^" {
+		p.advance()
+		exp, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: "^", x: base, y: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseAtom() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		p.advance()
+		return numExpr(v), nil
+	case t.kind == tokIdent:
+		name := t.text
+		p.advance()
+		if p.cur().kind == tokSymbol && p.cur().text == "(" {
+			p.advance()
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return unaryExpr{op: name, x: arg}, nil
+		}
+		return identExpr(name), nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}

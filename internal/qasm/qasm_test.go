@@ -1,0 +1,280 @@
+package qasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+)
+
+func TestParseMinimal(t *testing.T) {
+	prog, err := Parse(`
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.NumQubits != 2 || prog.Circuit.Len() != 2 {
+		t.Fatalf("parsed %d qubits, %d ops", prog.Circuit.NumQubits, prog.Circuit.Len())
+	}
+	if prog.Measures != 1 {
+		t.Fatalf("measures = %d", prog.Measures)
+	}
+	if prog.Circuit.Ops[0].G.Kind != gate.H || prog.Circuit.Ops[1].G.Kind != gate.CX {
+		t.Fatalf("ops: %v", prog.Circuit.Ops)
+	}
+	if prog.Circuit.Ops[1].Qubits[0] != 0 || prog.Circuit.Ops[1].Qubits[1] != 1 {
+		t.Fatalf("cx qubits: %v", prog.Circuit.Ops[1].Qubits)
+	}
+}
+
+func TestParseParamExpressions(t *testing.T) {
+	prog, err := Parse(`
+qreg q[1];
+rz(pi/2) q[0];
+rx(-pi/4) q[0];
+ry(2*pi/3 + 0.5) q[0];
+u3(0.1, 0.2e1, 3^2) q[0];
+p(cos(0)) q[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := prog.Circuit.Ops
+	checks := []struct {
+		idx  int
+		p    int
+		want float64
+	}{
+		{0, 0, math.Pi / 2},
+		{1, 0, -math.Pi / 4},
+		{2, 0, 2*math.Pi/3 + 0.5},
+		{3, 1, 2.0},
+		{3, 2, 9.0},
+		{4, 0, 1.0},
+	}
+	for _, c := range checks {
+		if got := ops[c.idx].G.Params[c.p]; math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("op %d param %d = %v, want %v", c.idx, c.p, got, c.want)
+		}
+	}
+}
+
+func TestParseBroadcast(t *testing.T) {
+	prog, err := Parse(`
+qreg q[3];
+h q;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 3 {
+		t.Fatalf("broadcast produced %d ops", prog.Circuit.Len())
+	}
+	for i, op := range prog.Circuit.Ops {
+		if op.Qubits[0] != i {
+			t.Fatalf("op %d on qubit %d", i, op.Qubits[0])
+		}
+	}
+}
+
+func TestParseMultiRegister(t *testing.T) {
+	prog, err := Parse(`
+qreg a[2];
+qreg b[2];
+cx a[1],b[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := prog.Circuit.Ops[0]
+	if op.Qubits[0] != 1 || op.Qubits[1] != 2 {
+		t.Fatalf("flattening wrong: %v", op.Qubits)
+	}
+	if prog.Circuit.NumQubits != 4 {
+		t.Fatalf("total qubits = %d", prog.Circuit.NumQubits)
+	}
+}
+
+func TestParseCustomGate(t *testing.T) {
+	prog, err := Parse(`
+qreg q[2];
+gate mygate(theta) a, b {
+  h a;
+  cx a, b;
+  rz(theta/2) b;
+}
+mygate(pi) q[1], q[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := prog.Circuit.Ops
+	if len(ops) != 3 {
+		t.Fatalf("expanded to %d ops", len(ops))
+	}
+	if ops[0].G.Kind != gate.H || ops[0].Qubits[0] != 1 {
+		t.Fatalf("op0: %v", ops[0])
+	}
+	if ops[1].G.Kind != gate.CX || ops[1].Qubits[0] != 1 || ops[1].Qubits[1] != 0 {
+		t.Fatalf("op1: %v", ops[1])
+	}
+	if math.Abs(ops[2].G.Params[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("op2 param: %v", ops[2].G.Params)
+	}
+}
+
+func TestParseNestedCustomGates(t *testing.T) {
+	prog, err := Parse(`
+qreg q[2];
+gate inner a { x a; }
+gate outer a, b { inner a; cx a, b; inner b; }
+outer q[0], q[1];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 3 {
+		t.Fatalf("nested expansion: %d ops", prog.Circuit.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown gate":      "qreg q[1]; bogus q[0];",
+		"out of range":      "qreg q[1]; x q[5];",
+		"unknown qreg":      "qreg q[1]; x r[0];",
+		"bad register size": "qreg q[0];",
+		"duplicate qreg":    "qreg q[1]; qreg q[2];",
+		"missing semicolon": "qreg q[1]\nx q[0];",
+		"wrong arity":       "qreg q[2]; cx q[0];",
+		"wrong params":      "qreg q[1]; rz q[0];",
+		"unknown param":     "qreg q[1]; rz(foo) q[0];",
+		"unsupported":       "qreg q[1]; creg c[1]; if (c==1) x q[0];",
+		"division by zero":  "qreg q[1]; rz(1/0) q[0];",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	prog, err := Parse(`
+// leading comment
+qreg q[1]; // trailing
+x q[0];
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 1 {
+		t.Fatalf("ops = %d", prog.Circuit.Len())
+	}
+}
+
+func TestParseBarrier(t *testing.T) {
+	prog, err := Parse("qreg q[2]; x q[0]; barrier q; x q[1];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Barriers != 1 || prog.Circuit.Len() != 2 {
+		t.Fatalf("barriers=%d ops=%d", prog.Barriers, prog.Circuit.Len())
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	src := `
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+rz(0.5) q[2];
+ccx q[0],q[1],q[2];
+u3(0.1,0.2,0.3) q[1];
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Write(prog.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	u1 := prog.Circuit.Unitary()
+	u2 := prog2.Circuit.Unitary()
+	if linalg.PhaseDistance(u1, u2) > 1e-9 {
+		t.Fatal("round trip changed the unitary")
+	}
+}
+
+func TestWriteRejectsBlocks(t *testing.T) {
+	prog, err := Parse("qreg q[1]; x q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Circuit
+	c.Append(gate.NewUnitary(linalg.Identity(2)), 0)
+	if _, err := Write(c); err == nil {
+		t.Fatal("expected error for block gate")
+	}
+}
+
+func TestQelibGateNames(t *testing.T) {
+	// Every supported gate name parses with the right parameter shape.
+	src := `
+qreg q[3];
+id q[0]; x q[0]; y q[0]; z q[0]; h q[0]; s q[0]; sdg q[0]; t q[0]; tdg q[0];
+sx q[0]; sxdg q[0];
+rx(0.1) q[0]; ry(0.2) q[0]; rz(0.3) q[0]; p(0.4) q[0]; u1(0.5) q[0];
+u2(0.1,0.2) q[0]; u3(0.1,0.2,0.3) q[0]; u(0.1,0.2,0.3) q[0];
+cx q[0],q[1]; cy q[0],q[1]; cz q[0],q[1]; ch q[0],q[1];
+crx(0.1) q[0],q[1]; cry(0.2) q[0],q[1]; crz(0.3) q[0],q[1]; cp(0.4) q[0],q[1]; cu1(0.5) q[0],q[1];
+rxx(0.6) q[0],q[1]; rzz(0.7) q[0],q[1];
+swap q[0],q[1]; ccx q[0],q[1],q[2]; cswap q[0],q[1],q[2];
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Circuit.Len() != 33 {
+		t.Fatalf("parsed %d ops, want 33", prog.Circuit.Len())
+	}
+}
+
+func TestUnitaryOfParsedBell(t *testing.T) {
+	prog, err := Parse("qreg q[2]; h q[0]; cx q[0],q[1];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := prog.Circuit.Unitary().MulVec([]complex128{1, 0, 0, 0})
+	inv := 1 / math.Sqrt2
+	if math.Abs(real(v[0])-inv) > 1e-9 || math.Abs(real(v[3])-inv) > 1e-9 {
+		t.Fatalf("Bell from QASM: %v", v)
+	}
+}
+
+func TestWriterOutputShape(t *testing.T) {
+	prog, _ := Parse("qreg q[1]; x q[0];")
+	out, err := Write(prog.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"OPENQASM 2.0;", "qreg q[1];", "x q[0];"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+// Quantum teleportation (unitary part), QASMBench style.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+// prepare the payload
+u3(0.3,0.2,0.1) q[0];
+// entangle the channel
+h q[1];
+cx q[1],q[2];
+// Bell measurement basis
+cx q[0],q[1];
+h q[0];
+barrier q;
+measure q[0] -> c[0];
+measure q[1] -> c[1];

@@ -1,0 +1,41 @@
+package qasm
+
+import (
+	"fmt"
+	"strings"
+
+	"epoc/internal/circuit"
+)
+
+// Write renders a circuit as OpenQASM 2.0 source with a single register
+// named q. Matrix-carrying block gates (unitary/vug) have no QASM
+// spelling and cause an error; decompose them with the synth package
+// before writing.
+func Write(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n")
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits)
+	for _, op := range c.Ops {
+		if op.G.IsBlock() {
+			return "", fmt.Errorf("qasm: cannot serialize block gate %s; synthesize it first", op.G)
+		}
+		name := string(op.G.Kind)
+		if _, ok := kindFor[name]; !ok {
+			return "", fmt.Errorf("qasm: gate %q has no QASM spelling", name)
+		}
+		b.WriteString(name)
+		if len(op.G.Params) > 0 {
+			parts := make([]string, len(op.G.Params))
+			for i, p := range op.G.Params {
+				parts[i] = fmt.Sprintf("%.12g", p)
+			}
+			fmt.Fprintf(&b, "(%s)", strings.Join(parts, ","))
+		}
+		qs := make([]string, len(op.Qubits))
+		for i, q := range op.Qubits {
+			qs[i] = fmt.Sprintf("q[%d]", q)
+		}
+		fmt.Fprintf(&b, " %s;\n", strings.Join(qs, ","))
+	}
+	return b.String(), nil
+}

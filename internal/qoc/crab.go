@@ -1,0 +1,125 @@
+package qoc
+
+import (
+	"math"
+	"math/rand"
+
+	"epoc/internal/linalg"
+	"epoc/internal/opt"
+)
+
+// CRABConfig tunes the Chopped Random Basis optimizer (Caneva,
+// Calarco et al. 2011), the second QOC algorithm the paper's
+// background discusses. Controls are expanded in a small randomized
+// Fourier basis and the coefficients are optimized derivative-free,
+// which suits experiments where gradients are unavailable.
+type CRABConfig struct {
+	Harmonics int     // Fourier components per control (default 4)
+	MaxIter   int     // Nelder-Mead iteration budget (default 2000)
+	Target    float64 // stop once fidelity reaches this (default 0.999)
+	Seed      int64   // randomized-frequency seed (default 1)
+	Restarts  int     // random restarts (default 2)
+}
+
+func (c *CRABConfig) defaults() {
+	if c.Harmonics == 0 {
+		c.Harmonics = 4
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 2000
+	}
+	if c.Target == 0 {
+		c.Target = 0.999
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 2
+	}
+}
+
+// CRAB optimizes the target unitary over the given number of slots
+// using the chopped-random-basis ansatz
+//
+//	u_j(t) = Σ_k [a_{jk}·sin(ω_{jk}·t) + b_{jk}·cos(ω_{jk}·t)]
+//
+// with randomized frequencies ω around the principal harmonics,
+// clipped to the hardware amplitude bounds.
+func CRAB(m *Model, target *linalg.Matrix, slots int, cfg CRABConfig) Result {
+	cfg.defaults()
+	if target.Rows != m.Dim() {
+		panic("qoc: target dimension does not match model")
+	}
+	nc := len(m.Controls)
+	T := float64(slots) * m.Dt
+
+	bestRes := Result{Fidelity: -1, Slots: slots, Duration: T}
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
+		// Randomized frequencies around the principal harmonics.
+		freqs := make([][]float64, nc)
+		for j := range freqs {
+			freqs[j] = make([]float64, cfg.Harmonics)
+			for k := range freqs[j] {
+				base := 2 * math.Pi * float64(k+1) / T
+				freqs[j][k] = base * (1 + 0.4*(rng.Float64()-0.5))
+			}
+		}
+
+		build := func(coeffs []float64) [][]float64 {
+			amps := make([][]float64, slots)
+			for s := 0; s < slots; s++ {
+				amps[s] = make([]float64, nc)
+				t := (float64(s) + 0.5) * m.Dt
+				idx := 0
+				for j := 0; j < nc; j++ {
+					var v float64
+					for k := 0; k < cfg.Harmonics; k++ {
+						v += coeffs[idx]*math.Sin(freqs[j][k]*t) + coeffs[idx+1]*math.Cos(freqs[j][k]*t)
+						idx += 2
+					}
+					// Clip to the hardware bound.
+					if v > m.MaxAmp[j] {
+						v = m.MaxAmp[j]
+					} else if v < -m.MaxAmp[j] {
+						v = -m.MaxAmp[j]
+					}
+					amps[s][j] = v
+				}
+			}
+			return amps
+		}
+
+		objective := func(coeffs []float64) float64 {
+			u := m.Propagate(build(coeffs))
+			return 1 - Fidelity(u, target)
+		}
+
+		np := nc * cfg.Harmonics * 2
+		x0 := make([]float64, np)
+		idx := 0
+		for j := 0; j < nc; j++ {
+			for k := 0; k < cfg.Harmonics; k++ {
+				x0[idx] = (rng.Float64()*2 - 1) * m.MaxAmp[j] * 0.4
+				x0[idx+1] = (rng.Float64()*2 - 1) * m.MaxAmp[j] * 0.4
+				idx += 2
+			}
+		}
+		res := opt.NelderMead(objective, x0, opt.NelderMeadConfig{
+			MaxIter: cfg.MaxIter,
+			Tol:     1e-12,
+			Step:    0.05,
+		})
+		fid := 1 - res.F
+		if fid > bestRes.Fidelity {
+			bestRes.Fidelity = fid
+			bestRes.Amps = build(res.X)
+			bestRes.Iterations = res.Iterations
+		}
+		if bestRes.Fidelity >= cfg.Target {
+			break
+		}
+	}
+	return bestRes
+}

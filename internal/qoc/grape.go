@@ -1,0 +1,249 @@
+package qoc
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"epoc/internal/linalg"
+)
+
+// GRAPEConfig tunes the optimizer.
+type GRAPEConfig struct {
+	MaxIter   int     // iteration budget (default 300)
+	Target    float64 // stop once fidelity reaches this (default 0.999)
+	LearnRate float64 // Adam step size in amplitude units (default: MaxAmp/8)
+	Seed      int64   // initial-guess RNG seed (default 1)
+}
+
+func (c *GRAPEConfig) defaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 300
+	}
+	if c.Target == 0 {
+		c.Target = 0.999
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result is an optimized pulse schedule.
+type Result struct {
+	Amps       [][]float64 // [slot][control], rad/ns
+	Fidelity   float64     // |tr(U†·target)|/dim achieved
+	Iterations int
+	Slots      int
+	Duration   float64 // ns
+}
+
+// Fidelity returns the phase-invariant gate fidelity |tr(A†B)|/dim.
+func Fidelity(a, b *linalg.Matrix) float64 {
+	return cmplx.Abs(linalg.HSInner(a, b)) / float64(a.Rows)
+}
+
+// GRAPE optimizes piecewise-constant control amplitudes over the given
+// number of time slots to implement the target unitary up to global
+// phase. Gradients are the standard first-order GRAPE gradients; the
+// ascent uses Adam with projection onto the amplitude bounds.
+func GRAPE(m *Model, target *linalg.Matrix, slots int, cfg GRAPEConfig) Result {
+	cfg.defaults()
+	nc := len(m.Controls)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Initial guess: small random amplitudes.
+	amps := make([][]float64, slots)
+	for k := range amps {
+		amps[k] = make([]float64, nc)
+		for j := range amps[k] {
+			amps[k][j] = (rng.Float64()*2 - 1) * m.MaxAmp[j] * 0.3
+		}
+	}
+	return grapeFrom(m, target, amps, cfg)
+}
+
+// grapeFrom runs the GRAPE ascent from an explicit initial amplitude
+// schedule (mutated in place as the working buffer).
+func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfig) Result {
+	cfg.defaults()
+	if target.Rows != m.Dim() {
+		panic("qoc: target dimension does not match model")
+	}
+	nc := len(m.Controls)
+	dim := m.Dim()
+	slots := len(amps)
+
+	lr := cfg.LearnRate
+	if lr == 0 {
+		lr = 0.02
+	}
+	mAdam := make([][]float64, slots)
+	vAdam := make([][]float64, slots)
+	for k := range mAdam {
+		mAdam[k] = make([]float64, nc)
+		vAdam[k] = make([]float64, nc)
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	steps := make([]*linalg.Matrix, slots)
+	prefix := make([]*linalg.Matrix, slots+1)
+	suffix := make([]*linalg.Matrix, slots+1)
+	hams := make([]*linalg.Matrix, slots)
+
+	best := Result{Fidelity: -1}
+	fid := 0.0
+	iter := 0
+	for ; iter < cfg.MaxIter; iter++ {
+		// Forward propagation.
+		for k := 0; k < slots; k++ {
+			hams[k] = m.slotHamiltonian(amps[k])
+			steps[k] = linalg.ExpIHermitian(hams[k], -m.Dt)
+		}
+		prefix[0] = linalg.Identity(dim)
+		for k := 0; k < slots; k++ {
+			prefix[k+1] = steps[k].Mul(prefix[k])
+		}
+		suffix[slots] = linalg.Identity(dim)
+		for k := slots - 1; k >= 0; k-- {
+			suffix[k] = suffix[k+1].Mul(steps[k])
+		}
+		u := prefix[slots]
+		z := linalg.HSInner(target, u) // tr(target†·U)
+		fid = cmplx.Abs(z) / float64(dim)
+		if fid > best.Fidelity {
+			best.Fidelity = fid
+			best.Amps = cloneAmps(amps)
+			best.Iterations = iter
+		}
+		if fid >= cfg.Target {
+			break
+		}
+
+		// Gradients: dz/du_{k,j} = -i·Dt·tr(target†·suffix_{k+1}·H_j·step_k·prefix_k)
+		//                       = -i·Dt·tr(M_k·H_j·Nk) with trace cycling.
+		// dF/du = Re(conj(z)·dz/du)/(|z|·dim).
+		zConj := cmplx.Conj(z)
+		zAbs := cmplx.Abs(z)
+		if zAbs < 1e-14 {
+			zAbs = 1e-14
+		}
+		for k := 0; k < slots; k++ {
+			// left = target†·suffix_{k+1}; right = step_k·prefix_k = prefix_{k+1}.
+			left := target.Adjoint().Mul(suffix[k+1])
+			right := prefix[k+1]
+			// tr(left·H_j·right) = tr((right·left)·H_j)
+			rl := right.Mul(left)
+			for j := 0; j < nc; j++ {
+				tr := traceProduct(rl, m.Controls[j])
+				dz := complex(0, -m.Dt) * tr
+				grad := real(zConj*dz) / (zAbs * float64(dim))
+				// Adam ascent step (maximize fidelity).
+				mAdam[k][j] = beta1*mAdam[k][j] + (1-beta1)*grad
+				vAdam[k][j] = beta2*vAdam[k][j] + (1-beta2)*grad*grad
+				mh := mAdam[k][j] / (1 - math.Pow(beta1, float64(iter+1)))
+				vh := vAdam[k][j] / (1 - math.Pow(beta2, float64(iter+1)))
+				amps[k][j] += lr * m.MaxAmp[j] * mh / (math.Sqrt(vh) + eps)
+				// Project onto the hardware amplitude bound.
+				if amps[k][j] > m.MaxAmp[j] {
+					amps[k][j] = m.MaxAmp[j]
+				} else if amps[k][j] < -m.MaxAmp[j] {
+					amps[k][j] = -m.MaxAmp[j]
+				}
+			}
+		}
+	}
+	best.Slots = slots
+	best.Duration = float64(slots) * m.Dt
+	if best.Amps == nil {
+		best.Amps = cloneAmps(amps)
+	}
+	best.Iterations = iter
+	return best
+}
+
+// traceProduct returns tr(a·b) without materializing the product.
+func traceProduct(a, b *linalg.Matrix) complex128 {
+	var s complex128
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*n : (i+1)*n]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			s += av * b.Data[k*n+i]
+		}
+	}
+	return s
+}
+
+func cloneAmps(a [][]float64) [][]float64 {
+	out := make([][]float64, len(a))
+	for i := range a {
+		out[i] = append([]float64(nil), a[i]...)
+	}
+	return out
+}
+
+// Runner produces an optimized pulse for a given slot count; used by
+// the duration search to abstract over GRAPE and CRAB.
+type Runner func(slots int) Result
+
+// SearchDuration finds the smallest slot count in [minSlots, maxSlots]
+// whose fidelity reaches target, using binary search over the
+// quantized slot grid (the AccQOC strategy). It returns the best pulse
+// found; if even maxSlots cannot reach the target, the maxSlots result
+// is returned with its achieved fidelity.
+func SearchDuration(minSlots, maxSlots, step int, target float64, run Runner) Result {
+	if minSlots < 1 {
+		minSlots = 1
+	}
+	if step < 1 {
+		step = 1
+	}
+	// Quantized grid of candidate slot counts.
+	var grid []int
+	for s := minSlots; s < maxSlots; s += step {
+		grid = append(grid, s)
+	}
+	grid = append(grid, maxSlots)
+
+	cache := map[int]Result{}
+	memo := func(slots int) Result {
+		if r, ok := cache[slots]; ok {
+			return r
+		}
+		r := run(slots)
+		cache[slots] = r
+		return r
+	}
+
+	lo, hi := 0, len(grid)-1
+	if r := memo(grid[hi]); r.Fidelity < target {
+		return r // even the longest pulse fails; report it
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if memo(grid[mid]).Fidelity >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return memo(grid[lo])
+}
+
+// DurationSearch is SearchDuration specialized to GRAPE.
+func DurationSearch(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg GRAPEConfig) Result {
+	cfg.defaults()
+	return SearchDuration(minSlots, maxSlots, step, cfg.Target, func(slots int) Result {
+		return GRAPE(m, target, slots, cfg)
+	})
+}
+
+// DurationSearchCRAB is SearchDuration specialized to CRAB.
+func DurationSearchCRAB(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg CRABConfig) Result {
+	cfg.defaults()
+	return SearchDuration(minSlots, maxSlots, step, cfg.Target, func(slots int) Result {
+		return CRAB(m, target, slots, cfg)
+	})
+}

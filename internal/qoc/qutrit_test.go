@@ -1,0 +1,87 @@
+package qoc
+
+import (
+	"math"
+	"testing"
+
+	"epoc/internal/gate"
+	"epoc/internal/pulse"
+)
+
+const anharm = -2.1 // ≈ -2π·330 MHz, typical transmon
+
+func TestQutritSlowPulseIsAccurate(t *testing.T) {
+	// A slow (adiabatic) Gaussian π-pulse barely sees the |2⟩ level.
+	m := NewQutritModel(anharm, 1)
+	env := pulse.Gaussian(math.Pi, 60, 1)
+	iq := make([][]float64, len(env))
+	for k := range env {
+		iq[k] = []float64{env[k], 0}
+	}
+	u := m.Propagate(iq)
+	if f := m.GateFidelity(u, gate.New(gate.X).Matrix()); f < 0.999 {
+		t.Fatalf("slow π-pulse fidelity %v", f)
+	}
+	if l := m.Leakage(u); l > 1e-3 {
+		t.Fatalf("slow pulse leaks %v", l)
+	}
+}
+
+func TestQutritFastPulseLeaks(t *testing.T) {
+	// A very fast Gaussian π-pulse (4 ns, σ·|α| ≈ 2) drives the 1↔2
+	// transition appreciably; smooth slow pulses do not (previous test).
+	m := NewQutritModel(anharm, 0.25)
+	env := pulse.Gaussian(math.Pi, 4, 0.25)
+	iq := make([][]float64, len(env))
+	for k := range env {
+		iq[k] = []float64{env[k], 0}
+	}
+	u := m.Propagate(iq)
+	if l := m.Leakage(u); l < 1e-3 {
+		t.Fatalf("fast pulse should leak, got %v", l)
+	}
+}
+
+func TestDRAGSuppressesLeakage(t *testing.T) {
+	// At the same (fast) speed, the DRAG quadrature must cut leakage
+	// relative to the plain Gaussian — the reason DRAG exists and the
+	// reason the envelope library provides it.
+	m := NewQutritModel(anharm, 0.25)
+	const dur = 5.0
+	plain := pulse.DRAG(math.Pi, dur, 0.25, 0)
+	dragged := pulse.DRAG(math.Pi, dur, 0.25, m.DRAGBeta())
+	lPlain := m.Leakage(m.Propagate(plain))
+	lDrag := m.Leakage(m.Propagate(dragged))
+	t.Logf("leakage: plain=%.2e drag=%.2e (β=%.3f)", lPlain, lDrag, m.DRAGBeta())
+	if lPlain < 1e-4 {
+		t.Fatalf("test precondition: plain pulse too adiabatic (leakage %v)", lPlain)
+	}
+	if lDrag > lPlain/2 {
+		t.Fatalf("DRAG did not suppress leakage: %v vs %v", lDrag, lPlain)
+	}
+}
+
+func TestQutritDriftPhases(t *testing.T) {
+	// With no drive, |2⟩ rotates as e^{-iαt} under exp(-iH t).
+	m := NewQutritModel(anharm, 1)
+	u := m.Propagate([][]float64{{0, 0}, {0, 0}})
+	if d := math.Abs(real(u.At(0, 0)) - 1); d > 1e-9 {
+		t.Fatal("|0⟩ should be stationary")
+	}
+	gotPhase := math.Atan2(imag(u.At(2, 2)), real(u.At(2, 2)))
+	diff := math.Mod(gotPhase-(-anharm*2), 2*math.Pi)
+	if diff > math.Pi {
+		diff -= 2 * math.Pi
+	} else if diff < -math.Pi {
+		diff += 2 * math.Pi
+	}
+	if math.Abs(diff) > 1e-9 {
+		t.Fatalf("|2⟩ phase %v, want %v (mod 2π)", gotPhase, -anharm*2)
+	}
+}
+
+func TestDRAGBetaZeroAnharmonicity(t *testing.T) {
+	if NewQutritModel(0, 1).DRAGBeta() != 0 {
+		t.Fatal("zero anharmonicity should give zero beta")
+	}
+}

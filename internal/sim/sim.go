@@ -1,0 +1,206 @@
+// Package sim is a state-vector simulator used to verify compiler
+// passes: it applies gates directly to amplitudes without materializing
+// 2^n × 2^n matrices, so equivalence checks stay cheap for circuits
+// that are too large for circuit.Unitary.
+//
+// Qubit 0 is the least-significant bit of a basis-state index,
+// matching the circuit package.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"epoc/internal/circuit"
+	"epoc/internal/linalg"
+)
+
+// State is a normalized state vector over n qubits.
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// NewState returns |00…0⟩ on n qubits.
+func NewState(n int) *State {
+	if n < 0 || n > 30 {
+		panic(fmt.Sprintf("sim: unsupported qubit count %d", n))
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<n)}
+	s.Amp[0] = 1
+	return s
+}
+
+// FromAmplitudes wraps an amplitude vector (length must be a power of
+// two). The vector is used directly, not copied.
+func FromAmplitudes(amp []complex128) *State {
+	n := 0
+	for d := len(amp); d > 1; d >>= 1 {
+		if d&1 == 1 {
+			panic("sim: amplitude length is not a power of two")
+		}
+		n++
+	}
+	if len(amp) == 0 {
+		panic("sim: empty amplitude vector")
+	}
+	return &State{N: n, Amp: amp}
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	out := &State{N: s.N, Amp: make([]complex128, len(s.Amp))}
+	copy(out.Amp, s.Amp)
+	return out
+}
+
+// ApplyMatrix applies a 2^k × 2^k unitary to the listed target qubits.
+// targets[0] is the least-significant bit of the small matrix index.
+func (s *State) ApplyMatrix(u *linalg.Matrix, targets []int) {
+	k := len(targets)
+	dim := 1 << k
+	if u.Rows != dim || u.Cols != dim {
+		panic(fmt.Sprintf("sim: matrix is %dx%d for %d targets", u.Rows, u.Cols, k))
+	}
+	seen := map[int]bool{}
+	for _, t := range targets {
+		if t < 0 || t >= s.N || seen[t] {
+			panic(fmt.Sprintf("sim: bad targets %v for %d qubits", targets, s.N))
+		}
+		seen[t] = true
+	}
+	// Enumerate every assignment of the non-target bits, then transform
+	// the 2^k amplitudes addressed by the target bits.
+	restBits := s.N - k
+	sub := make([]complex128, dim)
+	out := make([]complex128, dim)
+	targetMask := 0
+	for _, t := range targets {
+		targetMask |= 1 << t
+	}
+	for rest := 0; rest < 1<<restBits; rest++ {
+		// Spread rest over the non-target bit positions.
+		base := 0
+		bit := 0
+		for pos := 0; pos < s.N; pos++ {
+			if targetMask&(1<<pos) != 0 {
+				continue
+			}
+			if rest&(1<<bit) != 0 {
+				base |= 1 << pos
+			}
+			bit++
+		}
+		for i := 0; i < dim; i++ {
+			idx := base
+			for b, t := range targets {
+				if i&(1<<b) != 0 {
+					idx |= 1 << t
+				}
+			}
+			sub[i] = s.Amp[idx]
+		}
+		for i := 0; i < dim; i++ {
+			var acc complex128
+			row := u.Data[i*dim : (i+1)*dim]
+			for j, a := range row {
+				acc += a * sub[j]
+			}
+			out[i] = acc
+		}
+		for i := 0; i < dim; i++ {
+			idx := base
+			for b, t := range targets {
+				if i&(1<<b) != 0 {
+					idx |= 1 << t
+				}
+			}
+			s.Amp[idx] = out[i]
+		}
+	}
+}
+
+// ApplyOp applies one circuit op.
+func (s *State) ApplyOp(op circuit.Op) {
+	s.ApplyMatrix(op.G.Matrix(), op.Qubits)
+}
+
+// Run applies every op of the circuit in order.
+func (s *State) Run(c *circuit.Circuit) {
+	if c.NumQubits != s.N {
+		panic(fmt.Sprintf("sim: circuit has %d qubits, state has %d", c.NumQubits, s.N))
+	}
+	for _, op := range c.Ops {
+		s.ApplyOp(op)
+	}
+}
+
+// RunCircuit returns the state produced by applying c to |0…0⟩.
+func RunCircuit(c *circuit.Circuit) *State {
+	s := NewState(c.NumQubits)
+	s.Run(c)
+	return s
+}
+
+// Overlap returns ⟨s|t⟩.
+func (s *State) Overlap(t *State) complex128 {
+	if s.N != t.N {
+		panic("sim: overlap dimension mismatch")
+	}
+	var acc complex128
+	for i := range s.Amp {
+		acc += cmplx.Conj(s.Amp[i]) * t.Amp[i]
+	}
+	return acc
+}
+
+// Fidelity returns |⟨s|t⟩|².
+func (s *State) Fidelity(t *State) float64 {
+	o := cmplx.Abs(s.Overlap(t))
+	return o * o
+}
+
+// Norm returns ‖s‖₂ (1 for normalized states).
+func (s *State) Norm() float64 {
+	var acc float64
+	for _, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(acc)
+}
+
+// Probability returns the probability of measuring basis state idx.
+func (s *State) Probability(idx int) float64 {
+	a := s.Amp[idx]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the full measurement distribution.
+func (s *State) Probabilities() []float64 {
+	out := make([]float64, len(s.Amp))
+	for i := range s.Amp {
+		out[i] = s.Probability(i)
+	}
+	return out
+}
+
+// EquivalentCircuits reports whether two circuits implement the same
+// unitary up to global phase, checked by running both on a basis of
+// random product states and comparing fidelities. For n ≤ 6 it is both
+// faster and stronger in practice than building full unitaries.
+func EquivalentCircuits(a, b *circuit.Circuit, trials int, seedStates []*State) bool {
+	if a.NumQubits != b.NumQubits {
+		return false
+	}
+	for i := 0; i < trials && i < len(seedStates); i++ {
+		sa := seedStates[i].Clone()
+		sb := seedStates[i].Clone()
+		sa.Run(a)
+		sb.Run(b)
+		if sa.Fidelity(sb) < 1-1e-9 {
+			return false
+		}
+	}
+	return true
+}

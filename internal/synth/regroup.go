@@ -1,0 +1,184 @@
+package synth
+
+import (
+	"sort"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+)
+
+// Regroup aggregates adjacent gates (VUGs, CNOTs, anything else) into
+// unitary block gates over at most maxQubits qubits — the regrouping
+// step of EPOC that turns fine-grained synthesis output into matrices
+// big enough to profit from quantum optimal control. The result is a
+// circuit of gate.Unitary ops implementing the same overall unitary.
+//
+// Grouping is greedy and order-preserving. Blocks are emitted in
+// creation order, so a block may only absorb a qubit whose most recent
+// ops live at or before the block's own position; merges always move
+// ops to the latest-positioned participant.
+func Regroup(c *circuit.Circuit, maxQubits int) *circuit.Circuit {
+	if maxQubits <= 0 {
+		maxQubits = 3
+	}
+	type block struct {
+		pos    int
+		qubits map[int]bool
+		ops    []circuit.Op
+		closed bool
+	}
+	var order []*block
+	owner := make(map[int]*block) // most recent block per qubit (open or closed)
+
+	// canAbsorb reports whether block b may take over qubit q without
+	// reordering: the qubit's most recent ops must not live after b.
+	canAbsorb := func(b *block, q int) bool {
+		prev := owner[q]
+		return prev == nil || prev == b || prev.pos <= b.pos
+	}
+
+	newBlock := func(op circuit.Op) {
+		b := &block{pos: len(order), qubits: map[int]bool{}}
+		for _, q := range op.Qubits {
+			if prev := owner[q]; prev != nil {
+				prev.closed = true
+			}
+			b.qubits[q] = true
+			owner[q] = b
+		}
+		b.ops = append(b.ops, op)
+		order = append(order, b)
+	}
+
+	addTo := func(b *block, op circuit.Op) {
+		for _, q := range op.Qubits {
+			if prev := owner[q]; prev != nil && prev != b {
+				prev.closed = true
+			}
+			b.qubits[q] = true
+			owner[q] = b
+		}
+		b.ops = append(b.ops, op)
+	}
+
+	for _, op := range c.Ops {
+		var owners []*block
+		seen := map[*block]bool{}
+		for _, q := range op.Qubits {
+			if b := owner[q]; b != nil && !b.closed && !seen[b] {
+				owners = append(owners, b)
+				seen[b] = true
+			}
+		}
+		switch len(owners) {
+		case 0:
+			newBlock(op)
+		case 1:
+			b := owners[0]
+			fits := true
+			union := len(b.qubits)
+			for _, q := range op.Qubits {
+				if !b.qubits[q] {
+					union++
+					if !canAbsorb(b, q) {
+						fits = false
+					}
+				}
+			}
+			if fits && union <= maxQubits {
+				addTo(b, op)
+			} else {
+				b.closed = true
+				newBlock(op)
+			}
+		default:
+			// Merge into the latest-positioned owner when the union fits
+			// and every foreign qubit may move there; otherwise seal all.
+			dst := owners[0]
+			for _, b := range owners[1:] {
+				if b.pos > dst.pos {
+					dst = b
+				}
+			}
+			union := map[int]bool{}
+			for _, b := range owners {
+				for q := range b.qubits {
+					union[q] = true
+				}
+			}
+			for _, q := range op.Qubits {
+				union[q] = true
+			}
+			ok := len(union) <= maxQubits
+			if ok {
+				for _, q := range op.Qubits {
+					if !dst.qubits[q] && !canAbsorb(dst, q) {
+						ok = false
+					}
+				}
+			}
+			if ok {
+				// Moving an earlier open block's ops later is safe: no
+				// block between the two positions can share its qubits
+				// (it would have sealed the open block).
+				for _, b := range owners {
+					if b == dst {
+						continue
+					}
+					dst.ops = append(dst.ops, b.ops...)
+					for q := range b.qubits {
+						dst.qubits[q] = true
+						owner[q] = dst
+					}
+					b.ops = nil
+					b.closed = true
+				}
+				addTo(dst, op)
+			} else {
+				for _, b := range owners {
+					b.closed = true
+				}
+				newBlock(op)
+			}
+		}
+	}
+
+	out := circuit.New(c.NumQubits)
+	for _, b := range order {
+		if len(b.ops) == 0 {
+			continue
+		}
+		out.AppendOp(blockToOp(b.ops))
+	}
+	return out
+}
+
+// blockToOp converts a run of ops into one unitary gate op.
+func blockToOp(ops []circuit.Op) circuit.Op {
+	qset := map[int]bool{}
+	for _, op := range ops {
+		for _, q := range op.Qubits {
+			qset[q] = true
+		}
+	}
+	qubits := make([]int, 0, len(qset))
+	for q := range qset {
+		qubits = append(qubits, q)
+	}
+	sort.Ints(qubits)
+	local := map[int]int{}
+	for i, q := range qubits {
+		local[q] = i
+	}
+	dim := 1 << len(qubits)
+	u := linalg.Identity(dim)
+	for _, op := range ops {
+		lq := make([]int, len(op.Qubits))
+		for i, q := range op.Qubits {
+			lq[i] = local[q]
+		}
+		u = linalg.EmbedOperator(op.G.Matrix(), lq, len(qubits)).Mul(u)
+	}
+	return circuit.NewOp(gate.NewUnitary(u), qubits...)
+}

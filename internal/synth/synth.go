@@ -1,0 +1,45 @@
+package synth
+
+import (
+	"math"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+	"epoc/internal/optimize"
+)
+
+// Synthesize1Q returns an exact circuit for a 1-qubit unitary: a single
+// U3 gate from the ZYZ Euler angles (or an empty circuit for identity).
+func Synthesize1Q(u *linalg.Matrix) *circuit.Circuit {
+	c := circuit.New(1)
+	_, beta, gamma, delta := optimize.ZYZ(u)
+	if zeroAngle(beta) && zeroAngle(gamma) && zeroAngle(delta) {
+		return c
+	}
+	// U3(θ,φ,λ) = RZ(φ)·RY(θ)·RZ(λ) up to phase.
+	c.Append(gate.New(gate.U3, gamma, beta, delta), 0)
+	return c
+}
+
+// SynthesizeBlock synthesizes a block unitary into VUGs (U3) + CNOTs,
+// verifying the result. fallback, when non-nil, is used whenever the
+// search cannot reach the accuracy threshold — callers pass the block's
+// original gate realization, so synthesis is a best-effort improvement
+// and never a correctness risk.
+func SynthesizeBlock(u *linalg.Matrix, fallback *circuit.Circuit, opts Options) (*circuit.Circuit, float64) {
+	const threshold = 1e-7
+	res := QSearch(u, opts)
+	if res.Distance < threshold {
+		return res.Circuit, res.Distance
+	}
+	if fallback != nil {
+		return fallback, 0
+	}
+	return res.Circuit, res.Distance
+}
+
+func zeroAngle(a float64) bool {
+	m := math.Mod(math.Abs(a), 2*math.Pi)
+	return m < 1e-10 || 2*math.Pi-m < 1e-10
+}

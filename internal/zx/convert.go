@@ -1,0 +1,73 @@
+package zx
+
+import (
+	"fmt"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/optimize"
+)
+
+// FromCircuit converts a circuit to a ZX-diagram. Gates outside the
+// {RZ, RX, H, CX, CZ} basis are decomposed first, so any registry gate
+// is accepted; block gates must be synthesized beforehand.
+func FromCircuit(c *circuit.Circuit) *Graph {
+	basis := optimize.DecomposeToBasis(c)
+	g := NewGraph()
+	n := c.NumQubits
+
+	// Per-qubit chain state: the last vertex on the wire and the kind of
+	// the pending edge to the next vertex (Hadamard gates toggle it).
+	last := make([]int, n)
+	pending := make([]EKind, n)
+	g.Inputs = make([]int, n)
+	g.Outputs = make([]int, n)
+	for q := 0; q < n; q++ {
+		in := g.AddVertex(Boundary, 0)
+		g.Inputs[q] = in
+		last[q] = in
+		pending[q] = Simple
+	}
+
+	// attach appends a new vertex to qubit q's wire.
+	attach := func(q int, k VKind, phase float64) int {
+		v := g.AddVertex(k, phase)
+		g.SetEdge(last[q], v, pending[q])
+		last[q] = v
+		pending[q] = Simple
+		return v
+	}
+
+	for _, op := range basis.Ops {
+		switch op.G.Kind {
+		case gate.H:
+			q := op.Qubits[0]
+			if pending[q] == Simple {
+				pending[q] = Hadamard
+			} else {
+				pending[q] = Simple
+			}
+		case gate.RZ:
+			attach(op.Qubits[0], ZSpider, op.G.Params[0])
+		case gate.RX:
+			attach(op.Qubits[0], XSpider, op.G.Params[0])
+		case gate.CZ:
+			a := attach(op.Qubits[0], ZSpider, 0)
+			b := attach(op.Qubits[1], ZSpider, 0)
+			g.SetEdge(a, b, Hadamard)
+		case gate.CX:
+			ctrl := attach(op.Qubits[0], ZSpider, 0)
+			tgt := attach(op.Qubits[1], XSpider, 0)
+			g.SetEdge(ctrl, tgt, Simple)
+		default:
+			panic(fmt.Sprintf("zx: unexpected basis gate %s", op.G.Kind))
+		}
+	}
+
+	for q := 0; q < n; q++ {
+		out := g.AddVertex(Boundary, 0)
+		g.Outputs[q] = out
+		g.SetEdge(last[q], out, pending[q])
+	}
+	return g
+}

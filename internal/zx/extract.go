@@ -1,0 +1,441 @@
+package zx
+
+import (
+	"errors"
+	"fmt"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+)
+
+// ErrNoExtraction is returned when the extractor cannot make progress;
+// for diagrams produced by FromCircuit + Simplify this indicates a
+// diagram without the expected generalized flow.
+var ErrNoExtraction = errors.New("zx: diagram admits no circuit extraction")
+
+// ToCircuit extracts a circuit from a graph-like diagram (call
+// Simplify or ToGraphLike first). The extraction walks from the
+// outputs toward the inputs, peeling off phase gates, CZs from frontier
+// edges, CNOTs from GF(2) row eliminations and Hadamards on frontier
+// advancement, mirroring the PyZX extraction algorithm.
+func (g *Graph) ToCircuit() (*circuit.Circuit, error) {
+	n := len(g.Outputs)
+	work := g.clone()
+	work.normalizeBoundaries()
+
+	out := circuit.New(n)
+	var rev []circuit.Op // collected back-to-front
+	emit := func(gt gate.Gate, qs ...int) {
+		rev = append(rev, circuit.NewOp(gt, qs...))
+	}
+
+	// Initialize the frontier: after normalizeBoundaries each output has
+	// a unique spider neighbor via a simple edge.
+	frontier := make([]int, n)   // qubit -> vertex
+	qubitOf := make(map[int]int) // vertex -> qubit
+	for q, o := range work.Outputs {
+		nb := work.Neighbors(o)
+		if len(nb) != 1 {
+			return nil, fmt.Errorf("zx: output %d has degree %d after normalization", q, len(nb))
+		}
+		v := nb[0]
+		if work.kind[v] == Boundary {
+			return nil, fmt.Errorf("zx: output %d connects directly to a boundary after normalization", q)
+		}
+		frontier[q] = v
+		qubitOf[v] = q
+	}
+
+	inputQubit := make(map[int]int)
+	for q, in := range work.Inputs {
+		inputQubit[in] = q
+	}
+
+	// Snapshot the budgets: stall recovery adds vertices, so a live
+	// bound would never trip.
+	maxIter := 10*work.next + 100
+	recoveries := work.NumSpiders() + 8
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return nil, ErrNoExtraction
+		}
+		// 1. Peel phases off frontier vertices.
+		for q, v := range frontier {
+			if p := work.phase[v]; !phaseIsZero(p) {
+				emit(gate.New(gate.RZ, p), q)
+				work.SetPhase(v, 0)
+			}
+		}
+		// 2. Peel CZs off frontier-frontier Hadamard edges.
+		for q1 := 0; q1 < n; q1++ {
+			for q2 := q1 + 1; q2 < n; q2++ {
+				if k, ok := work.Edge(frontier[q1], frontier[q2]); ok {
+					if k != Hadamard {
+						return nil, fmt.Errorf("zx: simple edge between frontier vertices")
+					}
+					emit(gate.New(gate.CZ), q1, q2)
+					work.RemoveEdge(frontier[q1], frontier[q2])
+				}
+			}
+		}
+		// 3. Build the biadjacency over ALL non-frontier neighbors —
+		// interior spiders first (advancement targets), then input
+		// boundaries. Inputs must be columns too: a row operation XORs a
+		// frontier vertex's entire back-neighborhood, including its
+		// Hadamard wires into the inputs.
+		colIndex := map[int]int{}
+		var cols []int
+		spiderCols := 0
+		for pass := 0; pass < 2; pass++ {
+			for _, v := range frontier {
+				for _, w := range work.Neighbors(v) {
+					k := work.adj[v][w]
+					if _, isFrontier := qubitOf[w]; isFrontier {
+						continue
+					}
+					isSpider := work.kind[w] == ZSpider
+					if pass == 0 && !isSpider {
+						continue
+					}
+					if pass == 1 {
+						if isSpider {
+							continue
+						}
+						if _, isInput := inputQubit[w]; !isInput {
+							continue // the vertex's own output boundary
+						}
+					}
+					if k != Hadamard {
+						return nil, fmt.Errorf("zx: non-Hadamard edge behind the frontier")
+					}
+					if _, seen := colIndex[w]; !seen {
+						colIndex[w] = len(cols)
+						cols = append(cols, w)
+						if isSpider {
+							spiderCols++
+						}
+					}
+				}
+			}
+		}
+		m := newBitMatrix(n, len(cols))
+		for q, v := range frontier {
+			for w := range work.adj[v] {
+				if ci, ok := colIndex[w]; ok {
+					m.set(q, ci, true)
+				}
+			}
+		}
+		// 4. Gauss-Jordan over GF(2); every row operation row[i] ^= row[j]
+		// updates the diagram's frontier adjacency and emits a CNOT with
+		// control i, target j (validated by round-trip tests).
+		rowOp := func(i, j int) {
+			m.xorRow(i, j)
+			vi, vj := frontier[i], frontier[j]
+			for _, w := range cols {
+				if _, hasJ := work.Edge(vj, w); hasJ {
+					work.toggleHEdge(vi, w)
+				}
+			}
+			emit(gate.New(gate.CX), i, j)
+		}
+		m.gaussJordan(rowOp)
+
+		if spiderCols == 0 {
+			break // only inputs remain; elimination above made it a permutation
+		}
+
+		// 5. Advance the frontier along rows whose single 1 sits on a
+		// spider column.
+		advanced := false
+		for q := 0; q < n; q++ {
+			ci, single := m.singleOne(q)
+			if !single || ci >= spiderCols {
+				continue
+			}
+			w := cols[ci]
+			if _, taken := qubitOf[w]; taken {
+				continue // already promoted this round by another row
+			}
+			v := frontier[q]
+			// v now has exactly: one simple edge to its output, one H edge
+			// to w (phases and frontier CZs were peeled above).
+			emit(gate.New(gate.H), q)
+			o := work.Outputs[q]
+			work.RemoveVertex(v)
+			delete(qubitOf, v)
+			work.SetEdge(w, o, Simple)
+			frontier[q] = w
+			qubitOf[w] = q
+			advanced = true
+		}
+		if !advanced {
+			// Phase gadgets block frontier advancement; pivot one away.
+			recoveries--
+			if recoveries < 0 || !work.recoverStall(frontier, qubitOf, inputQubit) {
+				return nil, ErrNoExtraction
+			}
+		}
+	}
+
+	// Final stage: every frontier vertex sees only input boundaries and
+	// the Gauss-Jordan above reduced the frontier-input biadjacency to a
+	// permutation. Peel the Hadamard input wires, then realize the
+	// permutation with SWAPs.
+	perm := make([]int, n) // output qubit -> input qubit
+	for q, v := range frontier {
+		inQ := -1
+		for w, k := range work.adj[v] {
+			if work.kind[w] != Boundary {
+				return nil, fmt.Errorf("zx: leftover spider neighbor in final stage")
+			}
+			if iq, isInput := inputQubit[w]; isInput {
+				if inQ != -1 {
+					return nil, fmt.Errorf("zx: frontier vertex adjacent to two inputs")
+				}
+				inQ = iq
+				if k != Hadamard {
+					return nil, fmt.Errorf("zx: input edge not Hadamard after normalization")
+				}
+				emit(gate.New(gate.H), q)
+			}
+		}
+		if inQ == -1 {
+			return nil, fmt.Errorf("zx: frontier vertex disconnected from inputs")
+		}
+		perm[q] = inQ
+	}
+	// Emit SWAPs realizing the permutation: wire q must carry input
+	// perm[q]. SWAPs are appended to the reversed list, so they land at
+	// the front of the final circuit.
+	p := append([]int(nil), perm...)
+	for q := 0; q < n; q++ {
+		for p[q] != q {
+			j := p[q]
+			emit(gate.New(gate.SWAP), q, j)
+			p[q], p[j] = p[j], p[q]
+		}
+	}
+
+	// Reverse into circuit order.
+	for i := len(rev) - 1; i >= 0; i-- {
+		out.AppendOp(rev[i])
+	}
+	return out, nil
+}
+
+// recoverStall unblocks a stalled extraction (typically caused by
+// phase gadgets): it pivots a zero-phase frontier vertex with an
+// interior Pauli neighbor, after detaching the frontier vertex from
+// its boundaries with identity-preserving dummy chains so the standard
+// interior pivot applies. Returns false when no such pivot exists.
+func (g *Graph) recoverStall(frontier []int, qubitOf map[int]int, inputQubit map[int]int) bool {
+	for q, v := range frontier {
+		if !phaseIsZero(g.phase[v]) {
+			continue // phases are peeled at the top of the loop; skip
+		}
+		for _, w := range g.Neighbors(v) {
+			if _, isFrontier := qubitOf[w]; isFrontier {
+				continue
+			}
+			// Unlike the simplifier's pivotCandidate, gadget axes ARE
+			// eligible here: destroying the gadget (its leaf becomes an
+			// ordinary spider) is exactly how the stall clears.
+			if !g.interiorPauliAllH(w) {
+				continue
+			}
+			// Detach v from its output: v -S- out ⇒ v -H- d1 -H- d2 -S- out.
+			var out = -1
+			for _, nb := range g.Neighbors(v) {
+				if g.kind[nb] == Boundary {
+					if _, isIn := inputQubit[nb]; !isIn {
+						out = nb
+					}
+				}
+			}
+			if out == -1 {
+				continue
+			}
+			g.RemoveEdge(v, out)
+			d1 := g.AddVertex(ZSpider, 0)
+			d2 := g.AddVertex(ZSpider, 0)
+			g.SetEdge(v, d1, Hadamard)
+			g.SetEdge(d1, d2, Hadamard)
+			g.SetEdge(d2, out, Simple)
+			// Detach v from inputs: i -H- v ⇒ i -H- e1 -H- e2 -H- v.
+			for _, nb := range g.Neighbors(v) {
+				if _, isIn := inputQubit[nb]; !isIn {
+					continue
+				}
+				g.RemoveEdge(v, nb)
+				e1 := g.AddVertex(ZSpider, 0)
+				e2 := g.AddVertex(ZSpider, 0)
+				g.SetEdge(nb, e1, Hadamard)
+				g.SetEdge(e1, e2, Hadamard)
+				g.SetEdge(e2, v, Hadamard)
+			}
+			g.pivot(v, w)
+			delete(qubitOf, v)
+			frontier[q] = d2
+			qubitOf[d2] = q
+			return true
+		}
+	}
+	return false
+}
+
+// clone deep-copies the graph.
+func (g *Graph) clone() *Graph {
+	out := NewGraph()
+	out.next = g.next
+	for v, k := range g.kind {
+		out.kind[v] = k
+		out.phase[v] = g.phase[v]
+		out.adj[v] = map[int]EKind{}
+	}
+	for v, nb := range g.adj {
+		for w, k := range nb {
+			out.adj[v][w] = k
+		}
+	}
+	out.Inputs = append([]int(nil), g.Inputs...)
+	out.Outputs = append([]int(nil), g.Outputs...)
+	return out
+}
+
+// normalizeBoundaries rewrites boundary edges so that every input
+// connects to a spider via a Hadamard edge and every output connects to
+// a unique fresh spider via a simple edge. All inserted spiders are
+// phase-0 Z-spiders, so the diagram's linear map is unchanged.
+func (g *Graph) normalizeBoundaries() {
+	for _, in := range g.Inputs {
+		nb := g.Neighbors(in)
+		if len(nb) != 1 {
+			panic(fmt.Sprintf("zx: input %d has degree %d", in, len(nb)))
+		}
+		v := nb[0]
+		k := g.adj[in][v]
+		if k == Simple {
+			// in -S- v  ⇒  in -H- d -H- v (H·H = wire).
+			d := g.AddVertex(ZSpider, 0)
+			g.RemoveEdge(in, v)
+			g.SetEdge(in, d, Hadamard)
+			g.combineOrSet(d, v, Hadamard)
+		}
+	}
+	for _, o := range g.Outputs {
+		nb := g.Neighbors(o)
+		if len(nb) != 1 {
+			panic(fmt.Sprintf("zx: output %d has degree %d", o, len(nb)))
+		}
+		v := nb[0]
+		k := g.adj[o][v]
+		g.RemoveEdge(o, v)
+		if k == Hadamard {
+			// v -H- d -S- out.
+			d := g.AddVertex(ZSpider, 0)
+			g.combineOrSet(v, d, Hadamard)
+			g.SetEdge(d, o, Simple)
+		} else {
+			// v -H- d1 -H- d2 -S- out.
+			d1 := g.AddVertex(ZSpider, 0)
+			d2 := g.AddVertex(ZSpider, 0)
+			g.combineOrSet(v, d1, Hadamard)
+			g.SetEdge(d1, d2, Hadamard)
+			g.SetEdge(d2, o, Simple)
+		}
+	}
+}
+
+// combineOrSet adds a Hadamard edge, resolving a parallel edge if the
+// endpoints are spiders. Fresh vertices never collide, but v may
+// already share an edge with another fresh dummy when an input and an
+// output normalize against the same spider.
+func (g *Graph) combineOrSet(a, b int, k EKind) {
+	if g.kind[a] != Boundary && g.kind[b] != Boundary {
+		g.combineEdge(a, b, k)
+		return
+	}
+	g.SetEdge(a, b, k)
+}
+
+// --- GF(2) bit matrix ---
+
+type bitMatrix struct {
+	rows, cols int
+	bits       [][]bool
+}
+
+func newBitMatrix(rows, cols int) *bitMatrix {
+	m := &bitMatrix{rows: rows, cols: cols, bits: make([][]bool, rows)}
+	for i := range m.bits {
+		m.bits[i] = make([]bool, cols)
+	}
+	return m
+}
+
+func (m *bitMatrix) set(i, j int, v bool) { m.bits[i][j] = v }
+
+func (m *bitMatrix) xorRow(i, j int) {
+	for c := 0; c < m.cols; c++ {
+		m.bits[i][c] = m.bits[i][c] != m.bits[j][c]
+	}
+}
+
+// gaussJordan reduces the matrix to reduced row-echelon form over
+// GF(2) up to a row permutation, without row swaps (each swap would
+// cost CNOTs in the extracted circuit). Every elementary operation
+// row[i] ^= row[j] is reported through rowOp(i, j), which must itself
+// perform the xorRow (so the caller can keep external state in sync).
+func (m *bitMatrix) gaussJordan(rowOp func(i, j int)) {
+	used := make([]bool, m.rows)
+	for c := 0; c < m.cols; c++ {
+		// Prefer the unused pivot row with the fewest set bits: its row
+		// additions disturb the other rows least, which keeps the CNOT
+		// count of the extraction down.
+		pivot := -1
+		best := m.cols + 1
+		for i := 0; i < m.rows; i++ {
+			if used[i] || !m.bits[i][c] {
+				continue
+			}
+			if w := m.rowWeight(i); w < best {
+				best = w
+				pivot = i
+			}
+		}
+		if pivot == -1 {
+			continue
+		}
+		used[pivot] = true
+		for i := 0; i < m.rows; i++ {
+			if i != pivot && m.bits[i][c] {
+				rowOp(i, pivot)
+			}
+		}
+	}
+}
+
+func (m *bitMatrix) rowWeight(i int) int {
+	w := 0
+	for c := 0; c < m.cols; c++ {
+		if m.bits[i][c] {
+			w++
+		}
+	}
+	return w
+}
+
+// singleOne returns (col, true) if row i has exactly one set bit.
+func (m *bitMatrix) singleOne(i int) (int, bool) {
+	col := -1
+	for c := 0; c < m.cols; c++ {
+		if m.bits[i][c] {
+			if col != -1 {
+				return -1, false
+			}
+			col = c
+		}
+	}
+	return col, col != -1
+}

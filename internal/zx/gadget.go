@@ -1,0 +1,186 @@
+package zx
+
+import "sort"
+
+// Phase-gadget machinery: the extra rewrites that lift Simplify
+// (clifford_simp) to the strength of PyZX's full_reduce. A phase
+// gadget is a phase-carrying leaf spider attached through a phase-0
+// axis spider to the gadget's legs:
+//
+//	leaf(α) ─H─ axis(0) ─H─ {legs...}
+//
+// pivotGadget turns a non-Pauli interior spider into a gadget so a
+// pivot with its Pauli neighbor becomes possible; fuseGadgets merges
+// gadgets with identical leg sets (adding phases), which is where
+// T-count/depth reductions on structured ansätze come from.
+
+// pivotGadgetAll applies the gadgetizing pivot wherever an interior
+// Pauli spider is Hadamard-adjacent to an interior non-Pauli spider.
+// Returns whether anything changed.
+func (g *Graph) pivotGadgetAll() bool {
+	changed := false
+	// Each gadgetizing pivot consumes one non-axis interior Pauli
+	// spider, so the initial vertex count bounds the loop; the snapshot
+	// also guards against any residual growth pathology.
+	limit := 10*len(g.kind) + 10
+	for iter := 0; iter < limit; iter++ {
+		u, v, found := g.findPivotGadget()
+		if !found {
+			return changed
+		}
+		g.pivotGadget(u, v)
+		changed = true
+	}
+	return changed
+}
+
+// findPivotGadget looks for u (interior Pauli, all-H) H-adjacent to v
+// (interior non-Pauli, all-H). v must not itself be a gadget axis or
+// leaf (gadgetizing those would loop forever).
+func (g *Graph) findPivotGadget() (int, int, bool) {
+	for _, u := range g.Vertices() {
+		if !g.pivotCandidate(u) {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if g.adj[u][v] != Hadamard {
+				continue
+			}
+			if g.kind[v] != ZSpider || phaseIsPauli(g.phase[v]) || !g.isInterior(v) {
+				continue
+			}
+			if g.Degree(v) == 1 || g.isGadgetAxis(v) {
+				continue
+			}
+			allH := true
+			for _, k := range g.adj[v] {
+				if k != Hadamard {
+					allH = false
+					break
+				}
+			}
+			if allH {
+				return u, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// pivotGadget unfuses v's phase into a fresh gadget, leaving v Pauli,
+// then pivots (u, v).
+func (g *Graph) pivotGadget(u, v int) {
+	leaf := g.AddVertex(ZSpider, g.phase[v])
+	axis := g.AddVertex(ZSpider, 0)
+	g.SetEdge(leaf, axis, Hadamard)
+	g.SetEdge(axis, v, Hadamard)
+	g.SetPhase(v, 0)
+	g.pivot(u, v)
+}
+
+// isGadgetAxis reports whether v is a phase-0 spider with exactly one
+// degree-1 neighbor (its phase leaf).
+func (g *Graph) isGadgetAxis(v int) bool {
+	if g.kind[v] != ZSpider || !phaseIsZero(g.phase[v]) {
+		return false
+	}
+	leaves := 0
+	for w := range g.adj[v] {
+		if g.Degree(w) == 1 && g.kind[w] == ZSpider {
+			leaves++
+		}
+	}
+	return leaves == 1
+}
+
+// gadgetLeaf returns the degree-1 phase leaf of a gadget axis.
+func (g *Graph) gadgetLeaf(axis int) int {
+	for w := range g.adj[axis] {
+		if g.Degree(w) == 1 && g.kind[w] == ZSpider {
+			return w
+		}
+	}
+	return -1
+}
+
+// fuseGadgets merges phase gadgets whose leg sets are identical,
+// adding their leaf phases. Returns whether anything changed.
+func (g *Graph) fuseGadgets() bool {
+	// Collect gadgets: axis -> sorted leg list.
+	type gadget struct {
+		axis, leaf int
+		legs       string
+	}
+	var gadgets []gadget
+	for _, v := range g.Vertices() {
+		if !g.isGadgetAxis(v) {
+			continue
+		}
+		leaf := g.gadgetLeaf(v)
+		legs := make([]int, 0, g.Degree(v)-1)
+		allH := true
+		for w, k := range g.adj[v] {
+			if w == leaf {
+				continue
+			}
+			if k != Hadamard || g.kind[w] == Boundary {
+				allH = false
+				break
+			}
+			legs = append(legs, w)
+		}
+		if !allH || len(legs) == 0 {
+			continue
+		}
+		sort.Ints(legs)
+		gadgets = append(gadgets, gadget{axis: v, leaf: leaf, legs: intsKey(legs)})
+	}
+	byLegs := map[string]gadget{}
+	changed := false
+	for _, gd := range gadgets {
+		prev, dup := byLegs[gd.legs]
+		if !dup {
+			byLegs[gd.legs] = gd
+			continue
+		}
+		// Merge gd into prev: phases add on the leaves.
+		g.AddToPhase(prev.leaf, g.phase[gd.leaf])
+		g.RemoveVertex(gd.leaf)
+		g.RemoveVertex(gd.axis)
+		changed = true
+	}
+	return changed
+}
+
+func intsKey(xs []int) string {
+	buf := make([]byte, 0, len(xs)*4)
+	for _, x := range xs {
+		for x > 0 {
+			buf = append(buf, byte('0'+x%10))
+			x /= 10
+		}
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// FullSimplify runs Simplify plus the phase-gadget rewrites to a fixed
+// point — the counterpart of PyZX's full_reduce. Extraction of the
+// result may need the gadget-aware stall recovery in ToCircuit. A
+// vertex budget backstops termination: if rewriting ever grows the
+// diagram past 4× its original size the loop stops with whatever has
+// been achieved (the diagram stays semantically valid throughout).
+func (g *Graph) FullSimplify() {
+	g.Simplify()
+	budget := 4*g.NumVertices() + 64
+	for rounds := 0; rounds < 100; rounds++ {
+		changed := g.pivotGadgetAll()
+		if g.fuseGadgets() {
+			changed = true
+		}
+		if !changed || g.NumVertices() > budget {
+			return
+		}
+		g.Simplify()
+	}
+}

@@ -1,0 +1,238 @@
+// Package zx implements ZX-calculus circuit optimization: conversion
+// of circuits to ZX-diagrams, graph-like simplification (spider fusion,
+// identity removal, local complementation, pivoting — the
+// clifford_simp strategy of PyZX), and extraction of an equivalent,
+// usually shallower circuit via GF(2) Gaussian elimination.
+//
+// Phases are in radians, stored modulo 2π.
+package zx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// VKind classifies a vertex.
+type VKind uint8
+
+// Vertex kinds.
+const (
+	Boundary VKind = iota
+	ZSpider
+	XSpider
+)
+
+// EKind classifies an edge.
+type EKind uint8
+
+// Edge kinds: a Simple edge is a plain wire, a Hadamard edge carries an
+// implicit Hadamard box.
+const (
+	Simple EKind = iota
+	Hadamard
+)
+
+type edgeKey struct{ a, b int }
+
+func key(a, b int) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a, b}
+}
+
+// Graph is an undirected ZX-diagram (open graph with ordered boundary
+// lists). Parallel edges are resolved eagerly by rewrite rules, so the
+// representation stores at most one edge per vertex pair.
+type Graph struct {
+	kind    map[int]VKind
+	phase   map[int]float64
+	adj     map[int]map[int]EKind
+	Inputs  []int
+	Outputs []int
+	next    int
+}
+
+// NewGraph returns an empty diagram.
+func NewGraph() *Graph {
+	return &Graph{
+		kind:  map[int]VKind{},
+		phase: map[int]float64{},
+		adj:   map[int]map[int]EKind{},
+	}
+}
+
+// AddVertex inserts a vertex and returns its id.
+func (g *Graph) AddVertex(k VKind, phase float64) int {
+	id := g.next
+	g.next++
+	g.kind[id] = k
+	g.phase[id] = normPhase(phase)
+	g.adj[id] = map[int]EKind{}
+	return id
+}
+
+// RemoveVertex deletes a vertex and all incident edges.
+func (g *Graph) RemoveVertex(v int) {
+	for w := range g.adj[v] {
+		delete(g.adj[w], v)
+	}
+	delete(g.adj, v)
+	delete(g.kind, v)
+	delete(g.phase, v)
+}
+
+// Kind returns the vertex kind.
+func (g *Graph) Kind(v int) VKind { return g.kind[v] }
+
+// Phase returns the vertex phase in radians.
+func (g *Graph) Phase(v int) float64 { return g.phase[v] }
+
+// SetPhase overwrites the vertex phase.
+func (g *Graph) SetPhase(v int, p float64) { g.phase[v] = normPhase(p) }
+
+// AddToPhase adds p to the vertex phase.
+func (g *Graph) AddToPhase(v int, p float64) { g.phase[v] = normPhase(g.phase[v] + p) }
+
+// SetEdge inserts or overwrites the edge between a and b.
+func (g *Graph) SetEdge(a, b int, k EKind) {
+	if a == b {
+		panic("zx: self-loop edges must be resolved by the caller")
+	}
+	g.adj[a][b] = k
+	g.adj[b][a] = k
+}
+
+// RemoveEdge deletes the edge between a and b if present.
+func (g *Graph) RemoveEdge(a, b int) {
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+}
+
+// Edge returns the edge kind and whether the edge exists.
+func (g *Graph) Edge(a, b int) (EKind, bool) {
+	k, ok := g.adj[a][b]
+	return k, ok
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor ids of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for w := range g.adj[v] {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Vertices returns all vertex ids in sorted order.
+func (g *Graph) Vertices() []int {
+	out := make([]int, 0, len(g.kind))
+	for v := range g.kind {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.kind) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nb := range g.adj {
+		n += len(nb)
+	}
+	return n / 2
+}
+
+// NumSpiders returns the number of non-boundary vertices.
+func (g *Graph) NumSpiders() int {
+	n := 0
+	for _, k := range g.kind {
+		if k != Boundary {
+			n++
+		}
+	}
+	return n
+}
+
+// TCount returns the number of non-Clifford spider phases in the
+// diagram — the resource metric T-count-reduction work (Kissinger &
+// van de Wetering 2019) optimizes.
+func (g *Graph) TCount() int {
+	n := 0
+	for v, k := range g.kind {
+		if k == Boundary {
+			continue
+		}
+		p := g.phase[v]
+		if !phaseIsPauli(p) && !phaseIsProperClifford(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// isInterior reports whether no neighbor of v is a boundary.
+func (g *Graph) isInterior(v int) bool {
+	for w := range g.adj[v] {
+		if g.kind[w] == Boundary {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("zx.Graph{%d vertices, %d edges, %d in, %d out}\n",
+		g.NumVertices(), g.NumEdges(), len(g.Inputs), len(g.Outputs))
+	for _, v := range g.Vertices() {
+		kindName := map[VKind]string{Boundary: "B", ZSpider: "Z", XSpider: "X"}[g.kind[v]]
+		s += fmt.Sprintf("  %d %s(%.3f):", v, kindName, g.phase[v])
+		for _, w := range g.Neighbors(v) {
+			e := "-"
+			if g.adj[v][w] == Hadamard {
+				e = "~"
+			}
+			s += fmt.Sprintf(" %s%d", e, w)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// normPhase maps a phase into [0, 2π).
+func normPhase(p float64) float64 {
+	m := math.Mod(p, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	if m < phaseTol || 2*math.Pi-m < phaseTol {
+		return 0
+	}
+	return m
+}
+
+const phaseTol = 1e-10
+
+// phaseIsZero reports p ≈ 0 (mod 2π).
+func phaseIsZero(p float64) bool { return normPhase(p) == 0 }
+
+// phaseIsPauli reports p ≈ 0 or π.
+func phaseIsPauli(p float64) bool {
+	n := normPhase(p)
+	return n == 0 || math.Abs(n-math.Pi) < phaseTol
+}
+
+// phaseIsProperClifford reports p ≈ ±π/2.
+func phaseIsProperClifford(p float64) bool {
+	n := normPhase(p)
+	return math.Abs(n-math.Pi/2) < phaseTol || math.Abs(n-3*math.Pi/2) < phaseTol
+}

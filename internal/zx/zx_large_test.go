@@ -1,0 +1,114 @@
+package zx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+	"epoc/internal/sim"
+)
+
+// simEquivalent checks equivalence up to global phase on random
+// product states — viable for widths where full unitaries are too big.
+func simEquivalent(t *testing.T, a, b *circuit.Circuit, context string) {
+	t.Helper()
+	if a.NumQubits != b.NumQubits {
+		t.Fatalf("%s: qubit counts differ", context)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 4; trial++ {
+		sa := sim.NewState(a.NumQubits)
+		for q := 0; q < a.NumQubits; q++ {
+			sa.ApplyMatrix(linalg.RandomUnitary(2, rng), []int{q})
+		}
+		sb := sa.Clone()
+		sa.Run(a)
+		sb.Run(b)
+		if f := sa.Fidelity(sb); math.Abs(f-1) > 1e-8 {
+			t.Fatalf("%s: trial %d fidelity %v", context, trial, f)
+		}
+	}
+}
+
+func TestRoundTripFiveQubits(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		c := randomCliffordT(5, 40+rng.Intn(40), rng)
+		g := FromCircuit(c)
+		g.Simplify()
+		out, err := g.ToCircuit()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		simEquivalent(t, c, out, "5q round trip")
+	}
+}
+
+func TestRoundTripSixQubitsStructured(t *testing.T) {
+	// GHZ-like + phase layers: highly structured circuits stress the
+	// extraction's final permutation stage.
+	c := circuit.New(6)
+	c.Append(gate.New(gate.H), 0)
+	for q := 0; q < 5; q++ {
+		c.Append(gate.New(gate.CX), q, q+1)
+	}
+	for q := 0; q < 6; q++ {
+		c.Append(gate.New(gate.T), q)
+	}
+	for q := 4; q >= 0; q-- {
+		c.Append(gate.New(gate.CX), q, q+1)
+	}
+	c.Append(gate.New(gate.H), 0)
+	g := FromCircuit(c)
+	g.Simplify()
+	out, err := g.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEquivalent(t, c, out, "6q structured")
+}
+
+func TestRoundTripDeepCliffordChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := randomClifford(4, 150, rng)
+	g := FromCircuit(c)
+	before := g.NumSpiders()
+	g.Simplify()
+	if g.NumSpiders() >= before/2 {
+		t.Fatalf("deep Clifford chain barely simplified: %d -> %d spiders", before, g.NumSpiders())
+	}
+	out, err := g.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simEquivalent(t, c, out, "deep clifford")
+}
+
+func TestExtractionDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	c := randomCliffordT(4, 30, rng)
+	g1 := FromCircuit(c)
+	g1.Simplify()
+	out1, err := g1.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := FromCircuit(c)
+	g2.Simplify()
+	out2, err := g2.ToCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Len() != out2.Len() || out1.Depth() != out2.Depth() {
+		t.Fatalf("extraction not deterministic: %d/%d vs %d/%d ops/depth",
+			out1.Len(), out1.Depth(), out2.Len(), out2.Depth())
+	}
+	for i := range out1.Ops {
+		if out1.Ops[i].String() != out2.Ops[i].String() {
+			t.Fatalf("op %d differs: %s vs %s", i, out1.Ops[i], out2.Ops[i])
+		}
+	}
+}
