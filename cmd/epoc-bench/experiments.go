@@ -10,10 +10,36 @@ import (
 	"epoc/internal/core"
 	"epoc/internal/gate"
 	"epoc/internal/hardware"
+	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/qoc"
 	"epoc/internal/report"
 )
+
+// statsMode (set by the -stats flag) attaches a Recorder to every
+// compile of an experiment and prints an aggregated stage breakdown
+// after it.
+var statsMode bool
+
+// newRecorder returns a fresh Recorder in stats mode, nil otherwise —
+// the nil recorder keeps the unobserved runs on the zero-cost path.
+func newRecorder() *obs.Recorder {
+	if !statsMode {
+		return nil
+	}
+	return obs.New()
+}
+
+// printBreakdown renders an experiment's aggregated observability
+// snapshot (no-op with a nil recorder).
+func printBreakdown(title string, r *obs.Recorder) {
+	if r == nil {
+		return
+	}
+	fmt.Printf("-- observability: %s --\n", title)
+	fmt.Print(report.RenderSnapshot(r.Snapshot()))
+	fmt.Println()
+}
 
 // paperTable1 holds the published Table 1 values for side-by-side
 // comparison: latency in ns and fidelity ('-' entries are NaN-free 0).
@@ -72,16 +98,17 @@ func runGroupingStudy(full bool) {
 	// Cold libraries per benchmark and setting: compile times then
 	// reflect each setting's true QOC cost rather than cross-benchmark
 	// cache luck.
+	rec := newRecorder()
 	var latRed, fidGains, timeOverheads []float64
 	for _, name := range benchcirc.Names() {
 		c, _ := benchcirc.Get(name)
 		dev := hardware.LinearChain(c.NumQubits)
-		resNo, err := core.Compile(c, core.Options{Strategy: core.EPOCNoGroup, Device: dev, Mode: mode, Library: pulse.NewLibrary(true)})
+		resNo, err := core.Compile(c, core.Options{Strategy: core.EPOCNoGroup, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec})
 		if err != nil {
 			fmt.Printf("%s (no-group): %v\n", name, err)
 			continue
 		}
-		resYes, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: pulse.NewLibrary(true)})
+		resYes, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec})
 		if err != nil {
 			fmt.Printf("%s (group): %v\n", name, err)
 			continue
@@ -102,6 +129,7 @@ func runGroupingStudy(full bool) {
 	fmt.Printf("average latency reduction from grouping:  %.2f%% (paper: 51.11%%)\n", report.Mean(latRed))
 	fmt.Printf("average fidelity change from grouping:    +%.2f%% (paper: +33.77%%)\n", report.Mean(fidGains))
 	fmt.Printf("average compile-time change from grouping: %+.2f%% (paper: +7.11%%)\n\n", report.Mean(timeOverheads))
+	printBreakdown("grouping study (all 34 compiles)", rec)
 }
 
 // runTable1 reproduces Table 1: gate-based vs PAQOC-style vs EPOC on
@@ -120,21 +148,22 @@ func runTable1(full bool) {
 
 	libPAQOC := pulse.NewLibrary(false)
 	libEPOC := pulse.NewLibrary(true)
+	rec := newRecorder()
 	var vsGate, vsPAQOC []float64
 	for _, name := range benchcirc.Table1Names() {
 		c, _ := benchcirc.Get(name)
 		dev := hardware.LinearChain(c.NumQubits)
-		gb, err := core.Compile(c, core.Options{Strategy: core.GateBased, Device: dev})
+		gb, err := core.Compile(c, core.Options{Strategy: core.GateBased, Device: dev, Obs: rec})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
 		}
-		pq, err := core.Compile(c, core.Options{Strategy: core.PAQOC, Device: dev, Mode: mode, Library: libPAQOC})
+		pq, err := core.Compile(c, core.Options{Strategy: core.PAQOC, Device: dev, Mode: mode, Library: libPAQOC, Obs: rec})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
 		}
-		ep, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: libEPOC})
+		ep, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: libEPOC, Obs: rec})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
@@ -155,6 +184,7 @@ func runTable1(full bool) {
 	fmt.Print(tb.String())
 	fmt.Printf("average EPOC latency reduction vs gate-based: %.2f%% (paper: 76.80%%)\n", report.Mean(vsGate))
 	fmt.Printf("average EPOC latency reduction vs PAQOC:      %.2f%% (paper: 31.74%%)\n\n", report.Mean(vsPAQOC))
+	printBreakdown("Table 1 (all 21 compiles)", rec)
 }
 
 // runHitRate measures the pulse-library hit rate across the full
@@ -164,6 +194,7 @@ func runTable1(full bool) {
 func runHitRate() {
 	tb := report.NewTable("Pulse-library hit rate across 25 programs (estimate mode)",
 		"matching", "lookups", "hits", "hit rate", "entries")
+	rec := newRecorder()
 	for _, phase := range []bool{false, true} {
 		lib := pulse.NewLibrary(phase)
 		for _, name := range benchcirc.AllNames() {
@@ -173,7 +204,7 @@ func runHitRate() {
 			}
 			dev := hardware.LinearChain(c.NumQubits)
 			if _, err := core.Compile(c, core.Options{
-				Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Library: lib,
+				Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Library: lib, Obs: rec,
 			}); err != nil {
 				fmt.Printf("%s: %v\n", name, err)
 			}
@@ -187,6 +218,7 @@ func runHitRate() {
 	}
 	fmt.Print(tb.String())
 	fmt.Println()
+	printBreakdown("hit-rate study (both key modes)", rec)
 }
 
 // runScale reproduces the §4 scalability claim: a large, deep
@@ -196,8 +228,9 @@ func runScale() {
 	fmt.Println("== Scale test: 160-qubit deep program (§4) ==")
 	c := benchcirc.RandomLayered(160, 8, 1)
 	dev := hardware.LinearChain(160)
+	rec := newRecorder()
 	start := time.Now()
-	res, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate})
+	res, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Obs: rec})
 	if err != nil {
 		fmt.Println("scale test failed:", err)
 		return
@@ -206,6 +239,7 @@ func runScale() {
 		res.Stats.GatesBefore, res.Stats.DepthBefore, res.Stats.Blocks, res.Stats.PulseCount)
 	fmt.Printf("latency: %.1f ns  fidelity: %.4f  compile time: %s\n\n",
 		res.Latency, res.Fidelity, time.Since(start).Round(time.Millisecond))
+	printBreakdown("scale test", rec)
 }
 
 // runAblations exercises the design choices DESIGN.md calls out.

@@ -8,6 +8,10 @@
 //	-scale   160-qubit feasibility run (§4)
 //	-ablate  design-choice ablations (partition size, library, ZX, dt)
 //	-all     everything above
+//	-stats   per-experiment observability breakdown (stage timers,
+//	         optimizer convergence, library behaviour)
+//	-cpuprofile/-memprofile
+//	         runtime/pprof profiles of the whole run
 //
 // Absolute nanoseconds differ from the paper's IBM-calibrated numbers
 // (this is a simulated device; see DESIGN.md); the comparisons and the
@@ -18,20 +22,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 func main() {
 	var (
-		fig5    = flag.Bool("fig5", false, "run the Figure 5 ZX study")
-		figs    = flag.Bool("figs", false, "run Figures 8-10 (grouping study)")
-		table1  = flag.Bool("table1", false, "run Table 1 (strategy comparison)")
-		scale   = flag.Bool("scale", false, "run the 160-qubit feasibility test")
-		hitrate = flag.Bool("hitrate", false, "run the pulse-library hit-rate study")
-		ablate  = flag.Bool("ablate", false, "run design-choice ablations")
-		all     = flag.Bool("all", false, "run everything")
-		mode    = flag.String("mode", "full", "full (GRAPE) | estimate — QOC mode for figs/table1")
+		fig5       = flag.Bool("fig5", false, "run the Figure 5 ZX study")
+		figs       = flag.Bool("figs", false, "run Figures 8-10 (grouping study)")
+		table1     = flag.Bool("table1", false, "run Table 1 (strategy comparison)")
+		scale      = flag.Bool("scale", false, "run the 160-qubit feasibility test")
+		hitrate    = flag.Bool("hitrate", false, "run the pulse-library hit-rate study")
+		ablate     = flag.Bool("ablate", false, "run design-choice ablations")
+		all        = flag.Bool("all", false, "run everything")
+		mode       = flag.String("mode", "full", "full (GRAPE) | estimate — QOC mode for figs/table1")
+		stats      = flag.Bool("stats", false, "print a per-experiment observability breakdown")
+		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
+	statsMode = *stats
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	full := *mode == "full"
 	if *mode != "full" && *mode != "estimate" {
@@ -66,5 +92,18 @@ func main() {
 	if !any {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+		}
+		f.Close()
 	}
 }

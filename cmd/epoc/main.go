@@ -6,6 +6,9 @@
 //
 //	epoc -in circuit.qasm [-strategy epoc] [-mode full] [-schedule]
 //	epoc -bench ghz [-strategy gate-based]
+//	epoc -bench qaoa -stats             # per-stage time/count breakdown
+//	epoc -bench qaoa -stats -json -     # breakdown + schedule as JSON
+//	epoc -bench qaoa -cpuprofile cpu.pb # runtime/pprof CPU profile
 package main
 
 import (
@@ -14,27 +17,41 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"epoc/internal/benchcirc"
 	"epoc/internal/circuit"
 	"epoc/internal/core"
 	"epoc/internal/hardware"
+	"epoc/internal/obs"
+	"epoc/internal/pulse"
 	"epoc/internal/qasm"
+	"epoc/internal/report"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input OpenQASM 2.0 file ('-' for stdin)")
-		bench    = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
-		strategy = flag.String("strategy", "epoc", "gate-based | accqoc | paqoc | epoc-nogroup | epoc")
-		mode     = flag.String("mode", "full", "full (GRAPE) | estimate (calibrated model)")
-		schedule = flag.Bool("schedule", false, "print the pulse timeline")
-		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
-		jsonOut  = flag.String("json", "", "write the pulse schedule as JSON to this file ('-' for stdout)")
-		grape    = flag.Int("grape-iters", 200, "GRAPE iteration budget")
-		workers  = flag.Int("workers", 1, "parallel QOC workers")
+		in         = flag.String("in", "", "input OpenQASM 2.0 file ('-' for stdin)")
+		bench      = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
+		strategy   = flag.String("strategy", "epoc", "gate-based | accqoc | paqoc | epoc-nogroup | epoc")
+		mode       = flag.String("mode", "full", "full (GRAPE) | estimate (calibrated model)")
+		schedule   = flag.Bool("schedule", false, "print the pulse timeline")
+		gantt      = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+		jsonOut    = flag.String("json", "", "write the pulse schedule as JSON to this file ('-' for stdout); with -stats the JSON also carries the obs snapshot")
+		stats      = flag.Bool("stats", false, "record and print the per-stage observability breakdown")
+		grape      = flag.Int("grape-iters", 200, "GRAPE iteration budget")
+		workers    = flag.Int("workers", 1, "parallel QOC workers")
+		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := startCPUProfile(*cpuprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	c, err := loadCircuit(*in, *bench)
 	if err != nil {
@@ -45,6 +62,11 @@ func main() {
 		Device:     hardware.LinearChain(c.NumQubits),
 		GRAPEIters: *grape,
 		Workers:    *workers,
+	}
+	var rec *obs.Recorder
+	if *stats {
+		rec = obs.New()
+		opts.Obs = rec
 	}
 	switch *mode {
 	case "full":
@@ -77,6 +99,16 @@ func main() {
 	fmt.Printf("latency:       %.1f ns\n", res.Latency)
 	fmt.Printf("fidelity:      %.5f\n", res.Fidelity)
 	fmt.Printf("compile time:  %s\n", res.CompileTime)
+	var snap *obs.Snapshot
+	if rec != nil {
+		snap = rec.Snapshot()
+		if total := st.LibraryHits + st.LibraryMisses; total > 0 {
+			fmt.Printf("library:       %.1f%% hit rate (%d lookups)\n",
+				100*float64(st.LibraryHits)/float64(total), total)
+		}
+		fmt.Println()
+		fmt.Print(report.RenderSnapshot(snap))
+	}
 	if *schedule {
 		fmt.Print(res.Schedule.String())
 	}
@@ -84,7 +116,14 @@ func main() {
 		fmt.Print(res.Schedule.Gantt(100))
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(res.Schedule, "", "  ")
+		var payload interface{} = res.Schedule
+		if snap != nil {
+			payload = struct {
+				Schedule *pulse.Schedule `json:"schedule"`
+				Obs      *obs.Snapshot   `json:"obs"`
+			}{res.Schedule, snap}
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -94,6 +133,43 @@ func main() {
 			fatal(err)
 		}
 	}
+	if err := writeHeapProfile(*memprofile); err != nil {
+		fatal(err)
+	}
+}
+
+// startCPUProfile begins a runtime/pprof CPU profile when path is
+// non-empty; the returned func stops it and closes the file.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps a heap profile when path is non-empty.
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation stats
+	return pprof.WriteHeapProfile(f)
 }
 
 func loadCircuit(in, bench string) (*circuit.Circuit, error) {

@@ -6,6 +6,7 @@
 //
 //	zxopt -in circuit.qasm [-out optimized.qasm]
 //	zxopt -bench vqe
+//	zxopt -bench vqe -cpuprofile cpu.pb   # profile the rewrite engine
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"epoc/internal/benchcirc"
 	"epoc/internal/circuit"
@@ -23,11 +26,27 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input OpenQASM 2.0 file ('-' for stdin)")
-		bench = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
-		out   = flag.String("out", "", "write the optimized circuit as QASM to this file")
+		in         = flag.String("in", "", "input OpenQASM 2.0 file ('-' for stdin)")
+		bench      = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
+		out        = flag.String("out", "", "write the optimized circuit as QASM to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	c, err := loadCircuit(*in, *bench)
 	if err != nil {
@@ -53,6 +72,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote:        %s\n", *out)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"epoc/internal/core"
 	"epoc/internal/gate"
 	"epoc/internal/hardware"
+	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/qasm"
 )
@@ -67,6 +68,15 @@ type Schedule = pulse.Schedule
 
 // QASMProgram is the result of parsing OpenQASM 2.0 source.
 type QASMProgram = qasm.Program
+
+// Recorder collects per-stage timings, counters and bounded traces
+// during compilation; attach one via CompileOptions.Obs. A nil
+// Recorder is valid everywhere and records nothing at zero cost.
+type Recorder = obs.Recorder
+
+// ObsSnapshot is an immutable copy of everything a Recorder has
+// collected, ready for rendering or JSON encoding.
+type ObsSnapshot = obs.Snapshot
 
 // Compilation strategies.
 const (
@@ -118,6 +128,11 @@ func LinearDevice(n int) *Device { return hardware.LinearChain(n) }
 func NewPulseLibrary(matchGlobalPhase bool) *PulseLibrary {
 	return pulse.NewLibrary(matchGlobalPhase)
 }
+
+// NewRecorder creates an observability recorder. Set it as
+// CompileOptions.Obs (it is goroutine-safe and may be shared across
+// compilations), then read results with Recorder.Snapshot.
+func NewRecorder() *Recorder { return obs.New() }
 
 // Compile lowers a circuit to a pulse schedule under the options'
 // strategy (full EPOC by default).

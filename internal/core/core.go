@@ -19,6 +19,7 @@ import (
 
 	"epoc/internal/circuit"
 	"epoc/internal/hardware"
+	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/synth"
 )
@@ -102,6 +103,14 @@ type Options struct {
 
 	// Algorithm selects the pulse optimizer (default GRAPE).
 	Algorithm QOCAlgorithm
+
+	// Obs, when non-nil, records per-stage timings, optimizer
+	// convergence metrics and library cache behaviour for this compile
+	// (see internal/obs). The recorder is goroutine-safe and may be
+	// shared across compilations to aggregate; snapshot it with
+	// Obs.Snapshot() after Compile returns. When nil (the default) the
+	// instrumented paths cost a single nil check and zero allocations.
+	Obs *obs.Recorder
 }
 
 // QOCAlgorithm selects the optimal-control algorithm.
@@ -171,6 +180,9 @@ func (o *Options) withDefaults() Options {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if out.Synth.Obs == nil {
+		out.Synth.Obs = out.Obs
+	}
 	return out
 }
 
@@ -205,6 +217,8 @@ type Result struct {
 func Compile(c *circuit.Circuit, opts Options) (*Result, error) {
 	o := opts.withDefaults()
 	start := time.Now()
+	hits0, misses0 := o.Library.Hits, o.Library.Misses
+	sp := o.Obs.Span("compile")
 	var (
 		res *Result
 		err error
@@ -215,8 +229,16 @@ func Compile(c *circuit.Circuit, opts Options) (*Result, error) {
 	default:
 		res, err = compileQOC(c, o)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	if o.Obs != nil {
+		o.Obs.Add("compiles", 1)
+		o.Obs.Add("library/hits", int64(o.Library.Hits-hits0))
+		o.Obs.Add("library/misses", int64(o.Library.Misses-misses0))
+		o.Obs.Add("qoc/runs", int64(res.Stats.QOCRuns))
+		o.Obs.Add("pulses", int64(res.Stats.PulseCount))
 	}
 	res.Strategy = o.Strategy
 	res.CompileTime = time.Since(start)

@@ -19,6 +19,8 @@ import (
 
 // compileGateBased lowers every gate to its calibrated pulse.
 func compileGateBased(c *circuit.Circuit, o Options) (*Result, error) {
+	sp := o.Obs.Span("stage/lower")
+	defer sp.End()
 	sched := pulse.NewSchedule(c.NumQubits)
 	res := &Result{Schedule: sched}
 	res.Stats.DepthBefore = c.Depth()
@@ -56,7 +58,9 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	}
 	// Stage 1: graph-based depth optimization (EPOC flows).
 	if *o.UseZX {
+		sp := o.Obs.Span("stage/zx")
 		work = zxOptimize(work)
+		sp.End()
 	}
 	res.Stats.DepthAfterZX = work.Depth()
 	res.Stats.GatesAfterZX = work.Len()
@@ -64,9 +68,11 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	// Optional topology mapping: decompose wide gates, insert SWAPs.
 	// Runs after the ZX stage, whose extraction may rewire qubit pairs.
 	if o.Route {
+		sp := o.Obs.Span("stage/route")
 		basis := optimize.DecomposeToBasis(work)
 		topo := route.NewTopology(o.Device.NumQubits, o.Device.Edges)
 		routed, err := route.Route(basis, topo)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -74,10 +80,12 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	}
 
 	// Stage 2: greedy partition (Algorithm 1).
+	sp := o.Obs.Span("stage/partition")
 	blocks := partition.Partition(work, partition.Options{
 		MaxQubits: o.PartitionMaxQubits,
 		MaxGates:  o.PartitionMaxGates,
 	})
+	sp.End()
 	res.Stats.Blocks = len(blocks)
 
 	// Stage 3: lower blocks. EPOC flows synthesize each block into
@@ -85,14 +93,15 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	var lowered *circuit.Circuit
 	epocFlow := o.Strategy == EPOC || o.Strategy == EPOCNoGroup
 	if epocFlow {
+		sp := o.Obs.Span("stage/synth")
 		lowered = circuit.New(c.NumQubits)
 		for _, b := range blocks {
 			local := b.Local
 			if !b.Bridge && len(b.Qubits) <= 3 && local.Len() > 1 {
-				synthed, _ := synth.SynthesizeBlock(b.Unitary(), decomposeFallback(local), o.Synth)
-				if synthed != local {
-					local = synthed
-				} else {
+				synthed, ok := synth.SynthesizeBlock(b.Unitary(), decomposeFallback(local), o.Synth)
+				local = synthed
+				if !ok {
+					// synthed is the U3/CX fallback realization.
 					res.Stats.SynthFallback++
 				}
 			}
@@ -104,6 +113,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 				lowered.Append(op.G, qs...)
 			}
 		}
+		sp.End()
 		res.Stats.VUGs = lowered.CountKind(gate.U3)
 		res.Stats.CNOTsAfter = lowered.CountKind(gate.CX)
 	} else {
@@ -115,7 +125,9 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	var pulsed *circuit.Circuit
 	switch o.Strategy {
 	case EPOC:
+		sp := o.Obs.Span("stage/regroup")
 		pulsed = synth.Regroup(lowered, o.RegroupMaxQubits)
+		sp.End()
 	case EPOCNoGroup:
 		pulsed = lowered
 	default:
@@ -128,6 +140,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	// The AccQOC baseline instead builds its library along a minimum
 	// spanning tree of the unitary similarity graph with warm-started
 	// GRAPE, as the original AccQOC paper does.
+	sp = o.Obs.Span("stage/qoc")
 	if o.Mode == QOCFull {
 		switch {
 		case o.Workers > 1:
@@ -160,6 +173,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		sched.Add(placed)
 		res.Stats.PulseCount++
 	}
+	sp.End()
 	return res, nil
 }
 
@@ -182,6 +196,10 @@ func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) {
 		}
 		seen[fp] = true
 		jobs = append(jobs, job{u: u, op: op})
+	}
+	if o.Obs != nil {
+		o.Obs.Add("library/prefill/distinct", int64(len(jobs)))
+		o.Obs.Add("library/prefill/deduped", int64(pulsed.Len()-len(jobs)))
 	}
 	if len(jobs) == 0 {
 		return
@@ -234,6 +252,7 @@ func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) {
 	}
 	byDim := map[int][]job{}
 	seen := map[string]bool{}
+	distinct := 0
 	for _, op := range pulsed.Ops {
 		u := op.G.Matrix()
 		fp := linalg.Fingerprint(u)
@@ -241,7 +260,12 @@ func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) {
 			continue
 		}
 		seen[fp] = true
+		distinct++
 		byDim[u.Rows] = append(byDim[u.Rows], job{u: u, op: op})
+	}
+	if o.Obs != nil {
+		o.Obs.Add("library/prefill/distinct", int64(distinct))
+		o.Obs.Add("library/prefill/deduped", int64(pulsed.Len()-distinct))
 	}
 	for _, jobs := range byDim {
 		us := make([]*linalg.Matrix, len(jobs))
@@ -288,24 +312,30 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 		step = 2 * o.SlotStep2Q
 	}
 	st.QOCRuns++
+	// Per-entry optimize cost: one span per distinct unitary that
+	// reaches the optimizer (the pulse library absorbs the rest).
+	sp := o.Obs.Span("qoc/pulse")
+	defer sp.End()
 	var r qoc.Result
 	if o.Algorithm == AlgCRAB {
 		r = qoc.DurationSearchCRAB(model, u, 2, maxSlots, step, qoc.CRABConfig{
 			Target: o.FidelityTarget,
 			Seed:   o.Seed,
+			Obs:    o.Obs,
 		})
 	} else {
 		cfg := qoc.GRAPEConfig{
 			MaxIter: o.GRAPEIters,
 			Target:  o.FidelityTarget,
 			Seed:    o.Seed,
+			Obs:     o.Obs,
 		}
 		if warm == nil {
 			r = qoc.DurationSearch(model, u, 2, maxSlots, step, cfg)
 		} else {
-			r = qoc.SearchDuration(2, maxSlots, step, cfg.Target, func(slots int) qoc.Result {
+			r = qoc.SearchDuration(2, maxSlots, step, cfg.Target, qoc.ObserveProbes(o.Obs, func(slots int) qoc.Result {
 				return qoc.WarmStartGRAPE(model, u, slots, warm, cfg)
-			})
+			}))
 		}
 	}
 	return &pulse.Pulse{

@@ -1,0 +1,61 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"epoc/internal/obs"
+)
+
+// ExampleRecorder shows the counter and distribution primitives the
+// pipeline stages use.
+func ExampleRecorder() {
+	r := obs.New()
+	r.Add("synth/nodes", 3)
+	r.Add("synth/nodes", 2)
+	r.Observe("qoc/grape/iterations", 80)
+	r.Observe("qoc/grape/iterations", 120)
+
+	snap := r.Snapshot()
+	fmt.Println("nodes:", snap.Counters["synth/nodes"])
+	d := snap.Dists["qoc/grape/iterations"]
+	fmt.Printf("grape iters: n=%d total=%.0f mean=%.0f\n", d.Count, d.Sum, d.Mean())
+	// Output:
+	// nodes: 5
+	// grape iters: n=2 total=200 mean=100
+}
+
+// ExampleRecorder_span times a pipeline stage. A nil *Recorder makes
+// every call a no-op, so instrumented code needs no conditionals.
+func ExampleRecorder_span() {
+	r := obs.New()
+	sp := r.Span("stage/partition")
+	// ... stage work ...
+	sp.End()
+	fmt.Println("spans recorded:", r.Snapshot().Timers["stage/partition"].Count)
+
+	var disabled *obs.Recorder // Options.Obs left unset
+	sp = disabled.Span("stage/partition")
+	sp.End()
+	fmt.Println("disabled snapshot is nil:", disabled.Snapshot() == nil)
+	// Output:
+	// spans recorded: 1
+	// disabled snapshot is nil: true
+}
+
+// ExampleRecorder_trace shows the bounded trace primitives: sampled
+// series (e.g. a GRAPE convergence curve) and structured events.
+func ExampleRecorder_trace() {
+	r := obs.NewWithLimits(8, 4)
+	for i, fid := range []float64{0.31, 0.74, 0.92, 0.986, 0.999} {
+		r.Sample("qoc/grape/fidelity", fid)
+		_ = i
+	}
+	r.Eventf("qoc/grape", "slots=%d iters=%d stop=%s", 48, 5, "target")
+
+	snap := r.Snapshot()
+	fmt.Println("kept samples:", len(snap.Series["qoc/grape/fidelity"]), "dropped:", snap.SamplesDropped)
+	fmt.Println(snap.Events[0].Stage, "|", snap.Events[0].Msg)
+	// Output:
+	// kept samples: 4 dropped: 1
+	// qoc/grape | slots=48 iters=5 stop=target
+}

@@ -1,0 +1,353 @@
+// Package obs is the pipeline's observability substrate: a
+// lightweight, goroutine-safe Recorder that the compilation stages
+// thread through their hot loops to answer "where does compile time
+// go, and how do the optimizers converge?" — the measurements every
+// performance claim in the paper (and every future optimization PR)
+// is judged against.
+//
+// The Recorder offers four primitives:
+//
+//   - named counters        Add("synth/nodes", 5)
+//   - monotonic timers      sp := r.Span("stage/zx"); ...; sp.End()
+//   - value distributions   Observe("qoc/grape/iterations", 120)
+//   - bounded traces        Sample("qoc/grape/fidelity", 0.97)
+//     and events            Eventf("qoc/grape", "slots=%d stop=%s", ...)
+//
+// All methods are safe on a nil *Recorder and do nothing, so
+// instrumented code needs no conditionals and the disabled path costs
+// a single nil check (see TestNilRecorderNoAllocs: zero allocations).
+// Series and events are bounded (first MaxSeries samples per key,
+// first MaxEvents events) with explicit drop counters, so a
+// long-running compile cannot grow memory without bound.
+//
+// Snapshot returns an immutable, JSON-serializable copy of everything
+// recorded; internal/report renders it as aligned text tables.
+//
+// Usage (see also ExampleRecorder and ExampleRecorder_span):
+//
+//	r := obs.New()
+//	res, err := core.Compile(c, core.Options{Device: dev, Obs: r})
+//	snap := r.Snapshot()
+//	fmt.Print(report.RenderSnapshot(snap))
+//
+// Naming convention: slash-separated lowercase paths, with the
+// pipeline stage timers under "stage/" (stage/zx, stage/route,
+// stage/partition, stage/synth, stage/regroup, stage/qoc), optimizer
+// metrics under "qoc/" and "synth/", and cache metrics under
+// "library/".
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default bounds for traces; override with NewWithLimits.
+const (
+	DefaultMaxEvents = 256
+	DefaultMaxSeries = 2048
+)
+
+// Recorder accumulates counters, timer aggregates, value
+// distributions, bounded series and bounded events. All methods are
+// goroutine-safe and no-ops on a nil receiver.
+type Recorder struct {
+	mu             sync.Mutex
+	counters       map[string]int64
+	timers         map[string]*TimerStats
+	dists          map[string]*DistStats
+	series         map[string][]float64
+	events         []Event
+	eventsDropped  int64
+	samplesDropped int64
+	maxEvents      int
+	maxSeries      int
+}
+
+// New returns an empty Recorder with the default trace bounds.
+func New() *Recorder {
+	return NewWithLimits(DefaultMaxEvents, DefaultMaxSeries)
+}
+
+// NewWithLimits returns an empty Recorder keeping at most maxEvents
+// events and maxSeries samples per series key; non-positive limits
+// fall back to the defaults.
+func NewWithLimits(maxEvents, maxSeries int) *Recorder {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	if maxSeries <= 0 {
+		maxSeries = DefaultMaxSeries
+	}
+	return &Recorder{
+		counters:  map[string]int64{},
+		timers:    map[string]*TimerStats{},
+		dists:     map[string]*DistStats{},
+		series:    map[string][]float64{},
+		maxEvents: maxEvents,
+		maxSeries: maxSeries,
+	}
+}
+
+// Add increments the named counter by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Observe folds v into the named distribution (count/sum/min/max).
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	d := r.dists[name]
+	if d == nil {
+		d = &DistStats{Min: v, Max: v}
+		r.dists[name] = d
+	}
+	d.Count++
+	d.Sum += v
+	if v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	r.mu.Unlock()
+}
+
+// Sample appends v to the named bounded series; samples beyond the
+// per-key bound are dropped and counted in Snapshot.SamplesDropped.
+func (r *Recorder) Sample(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s := r.series[name]
+	if len(s) < r.maxSeries {
+		r.series[name] = append(s, v)
+	} else {
+		r.samplesDropped++
+	}
+	r.mu.Unlock()
+}
+
+// Span starts a monotonic timer under the given name; call End on the
+// returned Span to record the elapsed duration. Span is a value type,
+// so the disabled (nil Recorder) path allocates nothing.
+func (r *Recorder) Span(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// Span is an in-flight timer measurement started by Recorder.Span.
+type Span struct {
+	r     *Recorder
+	name  string
+	start time.Time
+}
+
+// End records the elapsed time since the span started. End on a span
+// from a nil Recorder is a no-op.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.recordDuration(s.name, time.Since(s.start))
+}
+
+func (r *Recorder) recordDuration(name string, d time.Duration) {
+	r.mu.Lock()
+	t := r.timers[name]
+	if t == nil {
+		t = &TimerStats{Min: d, Max: d}
+		r.timers[name] = t
+	}
+	t.Count++
+	t.Total += d
+	if d < t.Min {
+		t.Min = d
+	}
+	if d > t.Max {
+		t.Max = d
+	}
+	r.mu.Unlock()
+}
+
+// Event records a trace event under a stage label. Events beyond the
+// bound are dropped and counted in Snapshot.EventsDropped.
+func (r *Recorder) Event(stage, msg string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.events) < r.maxEvents {
+		r.events = append(r.events, Event{Time: time.Now(), Stage: stage, Msg: msg})
+	} else {
+		r.eventsDropped++
+	}
+	r.mu.Unlock()
+}
+
+// Eventf is Event with fmt.Sprintf formatting; the formatting only
+// happens when the Recorder is non-nil.
+func (r *Recorder) Eventf(stage, format string, args ...interface{}) {
+	if r == nil {
+		return
+	}
+	r.Event(stage, fmt.Sprintf(format, args...))
+}
+
+// Event is one bounded trace entry.
+type Event struct {
+	Time  time.Time `json:"time"`
+	Stage string    `json:"stage"`
+	Msg   string    `json:"msg"`
+}
+
+// TimerStats aggregates the spans recorded under one name.
+type TimerStats struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Mean returns the average span duration (0 when empty).
+func (t TimerStats) Mean() time.Duration {
+	if t.Count == 0 {
+		return 0
+	}
+	return t.Total / time.Duration(t.Count)
+}
+
+// DistStats aggregates the values observed under one name.
+type DistStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (d DistStats) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// Snapshot is an immutable copy of everything a Recorder has seen,
+// ready for JSON serialization or table rendering.
+type Snapshot struct {
+	Counters       map[string]int64      `json:"counters,omitempty"`
+	Timers         map[string]TimerStats `json:"timers,omitempty"`
+	Dists          map[string]DistStats  `json:"dists,omitempty"`
+	Series         map[string][]float64  `json:"series,omitempty"`
+	Events         []Event               `json:"events,omitempty"`
+	EventsDropped  int64                 `json:"events_dropped,omitempty"`
+	SamplesDropped int64                 `json:"samples_dropped,omitempty"`
+}
+
+// Snapshot copies the recorder's state. It is safe to call while
+// other goroutines keep recording; nil recorders return nil.
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:       make(map[string]int64, len(r.counters)),
+		Timers:         make(map[string]TimerStats, len(r.timers)),
+		Dists:          make(map[string]DistStats, len(r.dists)),
+		Series:         make(map[string][]float64, len(r.series)),
+		Events:         append([]Event(nil), r.events...),
+		EventsDropped:  r.eventsDropped,
+		SamplesDropped: r.samplesDropped,
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.timers {
+		s.Timers[k] = *v
+	}
+	for k, v := range r.dists {
+		s.Dists[k] = *v
+	}
+	for k, v := range r.series {
+		s.Series[k] = append([]float64(nil), v...)
+	}
+	return s
+}
+
+// CounterNames returns the snapshot's counter names sorted
+// alphabetically (helper for deterministic rendering).
+func (s *Snapshot) CounterNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TimerNames returns the snapshot's timer names sorted by total time
+// descending (hottest first), ties broken alphabetically.
+func (s *Snapshot) TimerNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Timers))
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := s.Timers[names[i]], s.Timers[names[j]]
+		if ti.Total != tj.Total {
+			return ti.Total > tj.Total
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// DistNames returns the snapshot's distribution names sorted
+// alphabetically.
+func (s *Snapshot) DistNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Dists))
+	for k := range s.Dists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesNames returns the snapshot's series names sorted
+// alphabetically.
+func (s *Snapshot) SeriesNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Series))
+	for k := range s.Series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

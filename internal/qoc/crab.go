@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"epoc/internal/linalg"
+	"epoc/internal/obs"
 	"epoc/internal/opt"
 )
 
@@ -19,6 +20,11 @@ type CRABConfig struct {
 	Target    float64 // stop once fidelity reaches this (default 0.999)
 	Seed      int64   // randomized-frequency seed (default 1)
 	Restarts  int     // random restarts (default 2)
+
+	// Obs, when non-nil, records per-run convergence metrics under
+	// "qoc/crab/*" (runs, restarts used, iteration and final-fidelity
+	// distributions, early-stop reason counters).
+	Obs *obs.Recorder
 }
 
 func (c *CRABConfig) defaults() {
@@ -55,7 +61,9 @@ func CRAB(m *Model, target *linalg.Matrix, slots int, cfg CRABConfig) Result {
 	T := float64(slots) * m.Dt
 
 	bestRes := Result{Fidelity: -1, Slots: slots, Duration: T}
+	restartsUsed := 0
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		restartsUsed++
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
 		// Randomized frequencies around the principal harmonics.
 		freqs := make([][]float64, nc)
@@ -120,6 +128,19 @@ func CRAB(m *Model, target *linalg.Matrix, slots int, cfg CRABConfig) Result {
 		if bestRes.Fidelity >= cfg.Target {
 			break
 		}
+	}
+	if r := cfg.Obs; r != nil {
+		reason := "max_iter"
+		if bestRes.Fidelity >= cfg.Target {
+			reason = "target"
+		}
+		r.Add("qoc/crab/runs", 1)
+		r.Add("qoc/crab/stop/"+reason, 1)
+		r.Observe("qoc/crab/restarts", float64(restartsUsed))
+		r.Observe("qoc/crab/iterations", float64(bestRes.Iterations))
+		r.Observe("qoc/crab/final_fidelity", bestRes.Fidelity)
+		r.Eventf("qoc/crab", "slots=%d restarts=%d iters=%d fid=%.6f stop=%s",
+			slots, restartsUsed, bestRes.Iterations, bestRes.Fidelity, reason)
 	}
 	return bestRes
 }

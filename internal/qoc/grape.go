@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"epoc/internal/linalg"
+	"epoc/internal/obs"
 )
 
 // GRAPEConfig tunes the optimizer.
@@ -14,6 +15,12 @@ type GRAPEConfig struct {
 	Target    float64 // stop once fidelity reaches this (default 0.999)
 	LearnRate float64 // Adam step size in amplitude units (default: MaxAmp/8)
 	Seed      int64   // initial-guess RNG seed (default 1)
+
+	// Obs, when non-nil, records per-run convergence metrics: the
+	// iteration count and final fidelity distributions, the early-stop
+	// reason counters (qoc/grape/stop/*), and a bounded per-iteration
+	// fidelity series under "qoc/grape/fidelity".
+	Obs *obs.Recorder
 }
 
 func (c *GRAPEConfig) defaults() {
@@ -109,6 +116,7 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 		u := prefix[slots]
 		z := linalg.HSInner(target, u) // tr(target†·U)
 		fid = cmplx.Abs(z) / float64(dim)
+		cfg.Obs.Sample("qoc/grape/fidelity", fid)
 		if fid > best.Fidelity {
 			best.Fidelity = fid
 			best.Amps = cloneAmps(amps)
@@ -157,6 +165,17 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 		best.Amps = cloneAmps(amps)
 	}
 	best.Iterations = iter
+	if r := cfg.Obs; r != nil {
+		reason := "max_iter"
+		if fid >= cfg.Target {
+			reason = "target"
+		}
+		r.Add("qoc/grape/runs", 1)
+		r.Add("qoc/grape/stop/"+reason, 1)
+		r.Observe("qoc/grape/iterations", float64(iter))
+		r.Observe("qoc/grape/final_fidelity", best.Fidelity)
+		r.Eventf("qoc/grape", "slots=%d iters=%d fid=%.6f stop=%s", slots, iter, best.Fidelity, reason)
+	}
 	return best
 }
 
@@ -187,6 +206,25 @@ func cloneAmps(a [][]float64) [][]float64 {
 // Runner produces an optimized pulse for a given slot count; used by
 // the duration search to abstract over GRAPE and CRAB.
 type Runner func(slots int) Result
+
+// ObserveProbes wraps a Runner so every duration-search probe is
+// recorded: a per-probe timer ("qoc/duration_probe"), the probed slot
+// sequence ("qoc/probe_slots" series, in probe order), and a trace
+// event per probe. With a nil recorder the Runner is returned as-is.
+func ObserveProbes(r *obs.Recorder, run Runner) Runner {
+	if r == nil {
+		return run
+	}
+	return func(slots int) Result {
+		sp := r.Span("qoc/duration_probe")
+		res := run(slots)
+		sp.End()
+		r.Add("qoc/duration_probes", 1)
+		r.Sample("qoc/probe_slots", float64(slots))
+		r.Eventf("qoc/search", "probe slots=%d fid=%.6f iters=%d", slots, res.Fidelity, res.Iterations)
+		return res
+	}
+}
 
 // SearchDuration finds the smallest slot count in [minSlots, maxSlots]
 // whose fidelity reaches target, using binary search over the
@@ -235,15 +273,15 @@ func SearchDuration(minSlots, maxSlots, step int, target float64, run Runner) Re
 // DurationSearch is SearchDuration specialized to GRAPE.
 func DurationSearch(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg GRAPEConfig) Result {
 	cfg.defaults()
-	return SearchDuration(minSlots, maxSlots, step, cfg.Target, func(slots int) Result {
+	return SearchDuration(minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
 		return GRAPE(m, target, slots, cfg)
-	})
+	}))
 }
 
 // DurationSearchCRAB is SearchDuration specialized to CRAB.
 func DurationSearchCRAB(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg CRABConfig) Result {
 	cfg.defaults()
-	return SearchDuration(minSlots, maxSlots, step, cfg.Target, func(slots int) Result {
+	return SearchDuration(minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
 		return CRAB(m, target, slots, cfg)
-	})
+	}))
 }

@@ -14,6 +14,7 @@ import (
 	"epoc/internal/circuit"
 	"epoc/internal/gate"
 	"epoc/internal/linalg"
+	"epoc/internal/obs"
 	"epoc/internal/opt"
 )
 
@@ -134,6 +135,11 @@ type Options struct {
 	MaxNodes  int   // A* node expansion budget (default 64)
 	OptBudget int   // L-BFGS iteration budget per instantiation (default 150)
 	Seed      int64 // RNG seed for multistart (default 1)
+
+	// Obs, when non-nil, records search effort under "synth/*": node
+	// expansions, instantiation calls and their timer, and the achieved
+	// distance/CNOT-count distributions per synthesized block.
+	Obs *obs.Recorder
 }
 
 func (o *Options) defaults(n int) {
@@ -198,13 +204,26 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 	opts.defaults(n)
 	rng := rand.New(rand.NewSource(opts.Seed))
 
+	record := func(res Result) Result {
+		if r := opts.Obs; r != nil {
+			r.Add("synth/blocks", 1)
+			r.Add("synth/nodes", int64(res.Nodes))
+			r.Observe("synth/distance", res.Distance)
+			r.Observe("synth/cnots", float64(res.CNOTs))
+		}
+		return res
+	}
+
 	pairs := orderedPairs(n)
 	open := &nodeHeap{}
 	heap.Init(open)
 
 	expand := func(pls []placement, seeds [][]float64) *node {
 		t := &template{n: n, placements: pls}
+		sp := opts.Obs.Span("synth/instantiate")
 		params, dist := t.instantiate(target, seeds, rng, opts.OptBudget)
+		sp.End()
+		opts.Obs.Add("synth/instantiations", 1)
 		return &node{
 			placements: pls,
 			params:     params,
@@ -220,7 +239,7 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 	best := root
 	if root.dist < instantiateTol {
 		t := &template{n: n, placements: root.placements}
-		return Result{Circuit: t.toCircuit(root.params), Distance: root.dist, Nodes: nodes}
+		return record(Result{Circuit: t.toCircuit(root.params), Distance: root.dist, Nodes: nodes})
 	}
 	heap.Push(open, root)
 
@@ -241,7 +260,7 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 			}
 			if child.dist < instantiateTol {
 				t := &template{n: n, placements: child.placements}
-				return Result{Circuit: t.toCircuit(child.params), Distance: child.dist, CNOTs: len(pls), Nodes: nodes}
+				return record(Result{Circuit: t.toCircuit(child.params), Distance: child.dist, CNOTs: len(pls), Nodes: nodes})
 			}
 			heap.Push(open, child)
 			if nodes >= opts.MaxNodes {
@@ -250,7 +269,7 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 		}
 	}
 	t := &template{n: n, placements: best.placements}
-	return Result{Circuit: t.toCircuit(best.params), Distance: best.dist, CNOTs: len(best.placements), Nodes: nodes}
+	return record(Result{Circuit: t.toCircuit(best.params), Distance: best.dist, CNOTs: len(best.placements), Nodes: nodes})
 }
 
 func (n *node) cnots() int { return len(n.placements) }

@@ -23,20 +23,24 @@ func Synthesize1Q(u *linalg.Matrix) *circuit.Circuit {
 }
 
 // SynthesizeBlock synthesizes a block unitary into VUGs (U3) + CNOTs,
-// verifying the result. fallback, when non-nil, is used whenever the
-// search cannot reach the accuracy threshold — callers pass the block's
-// original gate realization, so synthesis is a best-effort improvement
-// and never a correctness risk.
-func SynthesizeBlock(u *linalg.Matrix, fallback *circuit.Circuit, opts Options) (*circuit.Circuit, float64) {
+// verifying the result. It reports ok = true when the search reached
+// the accuracy threshold and the synthesized circuit is returned.
+// Otherwise ok is false and the fallback, when non-nil, is returned
+// instead — callers pass the block's original gate realization, so
+// synthesis is a best-effort improvement and never a correctness risk.
+// With a nil fallback the best (out-of-threshold) search result is
+// returned, still with ok = false.
+func SynthesizeBlock(u *linalg.Matrix, fallback *circuit.Circuit, opts Options) (*circuit.Circuit, bool) {
 	const threshold = 1e-7
 	res := QSearch(u, opts)
 	if res.Distance < threshold {
-		return res.Circuit, res.Distance
+		return res.Circuit, true
 	}
+	opts.Obs.Add("synth/fallbacks", 1)
 	if fallback != nil {
-		return fallback, 0
+		return fallback, false
 	}
-	return res.Circuit, res.Distance
+	return res.Circuit, false
 }
 
 func zeroAngle(a float64) bool {
