@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench fuzz ci
 
 all: build vet test
 
@@ -19,5 +19,10 @@ race:
 # Full benchmark harness; re-runs the paper's experiments (slow).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Native Go fuzzing of the QASM parser (bounded; CI runs the same
+# target for 30s on every push).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
 
 ci: build vet race

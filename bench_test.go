@@ -375,6 +375,39 @@ func maxi(a, b int) int {
 // above are filtered out at build time.
 var _ = circuit.New
 
+// BenchmarkSynthWorkers compares serial vs pooled block synthesis on
+// the same circuit (QOCEstimate isolates stage 3; a fresh library and
+// synthesis cache per iteration keeps runs independent). The custom
+// metrics expose the cache's dedup ratio — the part of the win that
+// shows up even on one core.
+func BenchmarkSynthWorkers(b *testing.B) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Compile(c, core.Options{
+					Strategy:   core.EPOC,
+					Device:     dev,
+					Mode:       core.QOCEstimate,
+					Workers:    workers,
+					Library:    pulse.NewLibrary(true),
+					SynthCache: synth.NewCache(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				hits, misses := res.Stats.SynthCacheHits, res.Stats.SynthCacheMisses
+				b.ReportMetric(float64(misses), "qsearch-runs")
+				if hits+misses > 0 {
+					b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-%")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLibraryHitRate measures cross-program pulse reuse over the
 // full 25-circuit corpus (paper + extended), with and without EPOC's
 // global-phase matching.

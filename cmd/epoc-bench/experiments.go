@@ -21,6 +21,11 @@ import (
 // after it.
 var statsMode bool
 
+// workerCount (set by the -workers flag) sizes the synthesis and QOC
+// worker pools in every experiment compile. Results are identical at
+// any setting; only wall-clock time changes.
+var workerCount int
+
 // newRecorder returns a fresh Recorder in stats mode, nil otherwise —
 // the nil recorder keeps the unobserved runs on the zero-cost path.
 func newRecorder() *obs.Recorder {
@@ -103,12 +108,12 @@ func runGroupingStudy(full bool) {
 	for _, name := range benchcirc.Names() {
 		c, _ := benchcirc.Get(name)
 		dev := hardware.LinearChain(c.NumQubits)
-		resNo, err := core.Compile(c, core.Options{Strategy: core.EPOCNoGroup, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec})
+		resNo, err := core.Compile(c, core.Options{Strategy: core.EPOCNoGroup, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s (no-group): %v\n", name, err)
 			continue
 		}
-		resYes, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec})
+		resYes, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s (group): %v\n", name, err)
 			continue
@@ -158,12 +163,12 @@ func runTable1(full bool) {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
 		}
-		pq, err := core.Compile(c, core.Options{Strategy: core.PAQOC, Device: dev, Mode: mode, Library: libPAQOC, Obs: rec})
+		pq, err := core.Compile(c, core.Options{Strategy: core.PAQOC, Device: dev, Mode: mode, Library: libPAQOC, Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
 		}
-		ep, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: libEPOC, Obs: rec})
+		ep, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: libEPOC, Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
@@ -204,7 +209,7 @@ func runHitRate() {
 			}
 			dev := hardware.LinearChain(c.NumQubits)
 			if _, err := core.Compile(c, core.Options{
-				Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Library: lib, Obs: rec,
+				Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Library: lib, Obs: rec, Workers: workerCount,
 			}); err != nil {
 				fmt.Printf("%s: %v\n", name, err)
 			}
@@ -230,7 +235,7 @@ func runScale() {
 	dev := hardware.LinearChain(160)
 	rec := newRecorder()
 	start := time.Now()
-	res, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Obs: rec})
+	res, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Obs: rec, Workers: workerCount})
 	if err != nil {
 		fmt.Println("scale test failed:", err)
 		return

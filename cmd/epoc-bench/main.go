@@ -37,11 +37,13 @@ func main() {
 		all        = flag.Bool("all", false, "run everything")
 		mode       = flag.String("mode", "full", "full (GRAPE) | estimate — QOC mode for figs/table1")
 		stats      = flag.Bool("stats", false, "print a per-experiment observability breakdown")
+		workers    = flag.Int("workers", 1, "parallel workers for block synthesis and QOC in every experiment")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
 	statsMode = *stats
+	workerCount = *workers
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -41,7 +41,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the pulse schedule as JSON to this file ('-' for stdout); with -stats the JSON also carries the obs snapshot")
 		stats      = flag.Bool("stats", false, "record and print the per-stage observability breakdown")
 		grape      = flag.Int("grape-iters", 200, "GRAPE iteration budget")
-		workers    = flag.Int("workers", 1, "parallel QOC workers")
+		workers    = flag.Int("workers", 1, "parallel workers for block synthesis and QOC (output is identical at any setting)")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)

@@ -87,8 +87,18 @@ type Options struct {
 	// Synthesis tuning (EPOC flows only).
 	Synth synth.Options
 
-	// Workers sets the number of goroutines used for QOC on distinct
-	// block unitaries (default 1; >1 helps on multi-core machines).
+	// SynthCache reuses block synthesis results across blocks and, when
+	// shared, across compilations: it is keyed by the block unitary up
+	// to global phase (the pulse-library keying scheme) and is
+	// goroutine-safe, with concurrent in-flight requests for the same
+	// unitary coalesced rather than raced. When nil a fresh cache is
+	// created per compile.
+	SynthCache *synth.Cache
+
+	// Workers sets the number of goroutines used for block synthesis
+	// and for QOC on distinct block unitaries (default 1; >1 helps on
+	// multi-core machines). Results are collected by block index, so
+	// the compiled output is identical for every worker count.
 	Workers int
 
 	// Decoherence enables T1/T2-aware fidelity: in addition to the ESP
@@ -183,23 +193,28 @@ func (o *Options) withDefaults() Options {
 	if out.Synth.Obs == nil {
 		out.Synth.Obs = out.Obs
 	}
+	if out.SynthCache == nil {
+		out.SynthCache = synth.NewCache()
+	}
 	return out
 }
 
 // Stats records what each stage did.
 type Stats struct {
-	DepthBefore   int
-	DepthAfterZX  int
-	GatesBefore   int
-	GatesAfterZX  int
-	Blocks        int
-	SynthFallback int // blocks that kept their original gate realization
-	VUGs          int // U3 VUGs emitted by synthesis
-	CNOTsAfter    int // CNOTs in the synthesized circuit
-	PulseCount    int
-	QOCRuns       int // GRAPE duration searches actually executed
-	LibraryHits   int
-	LibraryMisses int
+	DepthBefore      int
+	DepthAfterZX     int
+	GatesBefore      int
+	GatesAfterZX     int
+	Blocks           int
+	SynthFallback    int // blocks that kept their original gate realization
+	VUGs             int // U3 VUGs emitted by synthesis
+	CNOTsAfter       int // CNOTs in the synthesized circuit
+	SynthCacheHits   int // eligible blocks served from the synthesis cache
+	SynthCacheMisses int // eligible blocks that ran a fresh synthesis
+	PulseCount       int
+	QOCRuns          int // GRAPE duration searches actually executed
+	LibraryHits      int
+	LibraryMisses    int
 }
 
 // Result is a compiled pulse program with its metrics.
@@ -210,6 +225,14 @@ type Result struct {
 	Fidelity    float64 // ESP (Equation 3)
 	CompileTime time.Duration
 	Stats       Stats
+
+	// Lowered is the gate-level circuit the QOC stage consumed, before
+	// regrouping: synthesized VUGs + CNOTs for EPOC flows, unitary
+	// block gates for AccQOC/PAQOC, nil for the gate-based flow. It is
+	// unitarily equivalent (up to global phase, within the synthesis
+	// threshold) to the input circuit — the hook the end-to-end
+	// equivalence and determinism tests verify against.
+	Lowered *circuit.Circuit
 }
 
 // Compile lowers a circuit to a pulse schedule under the selected

@@ -1,13 +1,17 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 
 	"epoc/internal/benchcirc"
 	"epoc/internal/hardware"
 	"epoc/internal/pulse"
+	"epoc/internal/qasm"
+	"epoc/internal/synth"
 )
 
 func TestParallelQOCMatchesSequential(t *testing.T) {
@@ -29,6 +33,93 @@ func TestParallelQOCMatchesSequential(t *testing.T) {
 	}
 	if par.Stats.QOCRuns != seq.Stats.QOCRuns {
 		t.Fatalf("parallel QOC ran %d searches, sequential %d", par.Stats.QOCRuns, seq.Stats.QOCRuns)
+	}
+}
+
+// TestParallelSynthDeterministic extends the QOC determinism check to
+// the synthesis stage: Workers: 1 and Workers: 8 must produce
+// byte-identical schedules, Stats, and QASM round-trip output — the
+// contract the parallel block dispatcher and synthesis cache are
+// built around.
+func TestParallelSynthDeterministic(t *testing.T) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	seq, err := Compile(c, Options{Strategy: EPOC, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compile(c, Options{Strategy: EPOC, Device: dev, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
+		t.Fatalf("worker count changed Stats:\n  1: %+v\n  8: %+v", seq.Stats, par.Stats)
+	}
+	seqJSON, err := json.Marshal(seq.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatal("worker count changed the serialized schedule")
+	}
+	seqQASM, err := qasm.Write(seq.Lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parQASM, err := qasm.Write(par.Lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqQASM != parQASM {
+		t.Fatal("worker count changed the lowered circuit's QASM")
+	}
+}
+
+// TestSynthCacheHitsOnRepeatedBlocks: a circuit with repeated
+// structure must serve some blocks from the synthesis cache instead
+// of re-running QSearch.
+func TestSynthCacheHitsOnRepeatedBlocks(t *testing.T) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	res, err := Compile(c, Options{Strategy: EPOC, Device: dev, Mode: QOCEstimate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SynthCacheHits == 0 {
+		t.Fatalf("no synthesis cache hits on a repeated-block circuit: %+v", res.Stats)
+	}
+	if res.Stats.SynthCacheMisses == 0 {
+		t.Fatal("expected at least one synthesis cache miss")
+	}
+}
+
+// TestSharedSynthCacheAcrossCompiles: a cache shared between
+// compilations reuses synthesis results the way a shared pulse
+// library reuses pulses.
+func TestSharedSynthCacheAcrossCompiles(t *testing.T) {
+	c, _ := benchcirc.Get("ghz")
+	dev := hardware.LinearChain(c.NumQubits)
+	cache := synth.NewCache()
+	first, err := Compile(c, Options{Strategy: EPOC, Device: dev, Mode: QOCEstimate, SynthCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.SynthCacheMisses == 0 {
+		t.Fatal("first compile should miss the fresh cache")
+	}
+	second, err := Compile(c, Options{Strategy: EPOC, Device: dev, Mode: QOCEstimate, SynthCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.SynthCacheMisses != 0 {
+		t.Fatalf("second compile missed the warm cache %d times", second.Stats.SynthCacheMisses)
+	}
+	if second.Latency != first.Latency || second.Fidelity != first.Fidelity {
+		t.Fatal("warm cache changed the compiled output")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"epoc/internal/circuit"
 	"epoc/internal/gate"
@@ -94,31 +95,14 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	epocFlow := o.Strategy == EPOC || o.Strategy == EPOCNoGroup
 	if epocFlow {
 		sp := o.Obs.Span("stage/synth")
-		lowered = circuit.New(c.NumQubits)
-		for _, b := range blocks {
-			local := b.Local
-			if !b.Bridge && len(b.Qubits) <= 3 && local.Len() > 1 {
-				synthed, ok := synth.SynthesizeBlock(b.Unitary(), decomposeFallback(local), o.Synth)
-				local = synthed
-				if !ok {
-					// synthed is the U3/CX fallback realization.
-					res.Stats.SynthFallback++
-				}
-			}
-			for _, op := range local.Ops {
-				qs := make([]int, len(op.Qubits))
-				for i, lq := range op.Qubits {
-					qs[i] = b.Qubits[lq]
-				}
-				lowered.Append(op.G, qs...)
-			}
-		}
+		lowered = synthesizeBlocks(c.NumQubits, blocks, o, &res.Stats)
 		sp.End()
 		res.Stats.VUGs = lowered.CountKind(gate.U3)
 		res.Stats.CNOTsAfter = lowered.CountKind(gate.CX)
 	} else {
 		lowered = partition.ToBlockCircuit(c.NumQubits, blocks)
 	}
+	res.Lowered = lowered
 
 	// Stage 4: regrouping (full EPOC and the coarse baselines; the
 	// no-grouping ablation pulses every op individually).
@@ -135,18 +119,19 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		pulsed = lowered
 	}
 
-	// Stage 5: QOC per distinct unitary, with library reuse. With
-	// Workers > 1 the distinct misses are optimized concurrently first.
-	// The AccQOC baseline instead builds its library along a minimum
-	// spanning tree of the unitary similarity graph with warm-started
-	// GRAPE, as the original AccQOC paper does.
+	// Stage 5: QOC per distinct unitary, with library reuse. The
+	// distinct misses are optimized first — concurrently when
+	// Workers > 1 — so the scheduling loop below only hits the library
+	// and Stats.Library{Hits,Misses} are identical for every worker
+	// count. The AccQOC baseline instead builds its library along a
+	// minimum spanning tree of the unitary similarity graph with
+	// warm-started GRAPE, as the original AccQOC paper does.
 	sp = o.Obs.Span("stage/qoc")
 	if o.Mode == QOCFull {
-		switch {
-		case o.Workers > 1:
-			prefillLibrary(pulsed, o, &res.Stats)
-		case o.Strategy == AccQOC:
+		if o.Strategy == AccQOC {
 			mstPrefill(pulsed, o, &res.Stats)
+		} else {
+			prefillLibrary(pulsed, o, &res.Stats)
 		}
 	}
 	sched := pulse.NewSchedule(c.NumQubits)
@@ -175,6 +160,145 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	}
 	sp.End()
 	return res, nil
+}
+
+// synthesizeBlocks runs stage 3 of the EPOC flows: every eligible
+// block (non-bridge, ≤3 qubits, more than one gate) is synthesized
+// into VUGs + CNOTs through the synthesis cache, with distinct
+// unitaries dispatched to a pool of o.Workers goroutines. The output
+// is byte-identical for every worker count:
+//
+//   - Eligible blocks are first grouped by unitary up to global phase
+//     (verified, not just fingerprinted), electing the lowest block
+//     index as each class representative. The class→result mapping is
+//     therefore a pure function of the circuit, not of scheduling.
+//   - Only representatives are dispatched; workers write results into
+//     a slice indexed by class, and the lowered circuit is assembled
+//     serially in block order afterwards.
+//   - QSearch itself is deterministic given (unitary, Options.Synth):
+//     its multistart RNG is seeded per call, and its phase-invariant
+//     cost makes phase-equivalent duplicates converge identically.
+//
+// Blocks whose synthesis misses the accuracy threshold fall back to
+// their own U3/CX realization (never a cached one, which would make
+// the output depend on which duplicate computed first).
+func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) *circuit.Circuit {
+	type class struct {
+		u   *linalg.Matrix
+		dup int // eligible blocks beyond the representative
+	}
+	classOf := make([]int, len(blocks))
+	var classes []class
+	byKey := map[string][]int{} // fingerprint -> class indices (collision chain)
+	for i := range blocks {
+		classOf[i] = -1
+		b := &blocks[i]
+		if b.Bridge || len(b.Qubits) > 3 || b.Local.Len() <= 1 {
+			continue
+		}
+		u := b.Unitary()
+		ci := -1
+		for _, cand := range byKey[linalg.Fingerprint(u)] {
+			if classes[cand].u.Rows == u.Rows && linalg.PhaseDistance(classes[cand].u, u) < synth.CacheTol {
+				ci = cand
+				break
+			}
+		}
+		if ci < 0 {
+			ci = len(classes)
+			classes = append(classes, class{u: u})
+			byKey[linalg.Fingerprint(u)] = append(byKey[linalg.Fingerprint(u)], ci)
+		} else {
+			classes[ci].dup++
+		}
+		classOf[i] = ci
+	}
+
+	type outcome struct {
+		circ   *circuit.Circuit
+		ok     bool
+		status synth.CacheStatus
+	}
+	results := make([]outcome, len(classes))
+	run := func(ci int) {
+		bsp := o.Obs.Span("stage/synth/block")
+		circ, ok, status := o.SynthCache.GetOrCompute(classes[ci].u, func() (*circuit.Circuit, bool) {
+			return synth.SynthesizeOutcome(classes[ci].u, o.Synth)
+		})
+		bsp.End()
+		results[ci] = outcome{circ: circ, ok: ok, status: status}
+	}
+	workers := o.Workers
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers <= 1 {
+		for ci := range classes {
+			run(ci)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range work {
+					run(ci)
+				}
+			}()
+		}
+		for ci := range classes {
+			work <- ci
+		}
+		close(work)
+		wg.Wait()
+	}
+
+	// Cache accounting: in-compile duplicates are hits by construction;
+	// representatives report what the (possibly shared) cache saw.
+	// Coalesced lookups did not run a synthesis, so they count as hits
+	// in Stats while keeping their own obs counter.
+	for ci := range classes {
+		st.SynthCacheHits += classes[ci].dup
+		o.Obs.Add("synthcache/hit", int64(classes[ci].dup))
+		switch results[ci].status {
+		case synth.CacheMiss:
+			st.SynthCacheMisses++
+			o.Obs.Add("synthcache/miss", 1)
+		case synth.CacheHit:
+			st.SynthCacheHits++
+			o.Obs.Add("synthcache/hit", 1)
+		case synth.CacheCoalesced:
+			st.SynthCacheHits++
+			o.Obs.Add("synthcache/coalesced", 1)
+		}
+	}
+
+	// Serial assembly in block order keeps the lowered circuit, stats
+	// and spans independent of worker scheduling.
+	lowered := circuit.New(n)
+	for i := range blocks {
+		b := &blocks[i]
+		local := b.Local
+		if ci := classOf[i]; ci >= 0 {
+			if out := results[ci]; out.ok {
+				local = out.circ
+			} else {
+				local = decomposeFallback(b.Local)
+				st.SynthFallback++
+				o.Obs.Add("synth/fallbacks", 1)
+			}
+		}
+		for _, op := range local.Ops {
+			qs := make([]int, len(op.Qubits))
+			for j, lq := range op.Qubits {
+				qs[j] = b.Qubits[lq]
+			}
+			lowered.Append(op.G, qs...)
+		}
+	}
+	return lowered
 }
 
 // prefillLibrary optimizes every distinct uncached block unitary with
@@ -213,6 +337,9 @@ func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) {
 	work := make(chan int)
 	results := make(chan done, len(jobs))
 	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"epoc/internal/benchcirc"
+	"epoc/internal/hardware"
+	"epoc/internal/obs"
+	"epoc/internal/pulse"
+	"epoc/internal/synth"
+)
+
+// TestConcurrentCompilesSharedRecorderAndCache hammers Compile from
+// many goroutines sharing one obs.Recorder and one synthesis cache —
+// the supported sharing surface. Each goroutine gets its own pulse
+// library (Library is documented as not goroutine-safe). Under -race
+// this exercises the cache's in-flight coalescing and the recorder's
+// counter/span/distribution paths concurrently; functionally, every
+// compile of the same circuit must agree.
+func TestConcurrentCompilesSharedRecorderAndCache(t *testing.T) {
+	c, _ := benchcirc.Get("qaoa")
+	dev := hardware.LinearChain(c.NumQubits)
+	rec := obs.New()
+	cache := synth.NewCache()
+
+	const goroutines = 8
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Compile(c, Options{
+				Strategy:   EPOC,
+				Device:     dev,
+				Mode:       QOCEstimate,
+				Workers:    2,
+				Obs:        rec,
+				SynthCache: cache,
+				Library:    pulse.NewLibrary(true),
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	first := results[0]
+	for i, res := range results[1:] {
+		if res.Latency != first.Latency || res.Fidelity != first.Fidelity {
+			t.Fatalf("goroutine %d diverged: latency %v vs %v, fidelity %v vs %v",
+				i+1, res.Latency, first.Latency, res.Fidelity, first.Fidelity)
+		}
+	}
+
+	// The shared cache synthesized each unitary class exactly once
+	// across all compiles: every compile after the first was served
+	// entirely by hits or coalesced waits.
+	totalMisses := int64(0)
+	for _, res := range results {
+		totalMisses += int64(res.Stats.SynthCacheMisses)
+	}
+	if got := cache.Misses(); got != totalMisses {
+		t.Fatalf("cache misses %d, sum of per-compile misses %d", got, totalMisses)
+	}
+	if cache.Misses() != int64(cache.Len()) {
+		t.Fatalf("cache synthesized %d times for %d classes", cache.Misses(), cache.Len())
+	}
+	snap := rec.Snapshot()
+	if snap.Counters["synthcache/miss"] != cache.Misses() {
+		t.Fatalf("recorder counted %d misses, cache %d",
+			snap.Counters["synthcache/miss"], cache.Misses())
+	}
+	if snap.Counters["synthcache/hit"]+snap.Counters["synthcache/coalesced"] == 0 {
+		t.Fatal("no cache reuse across concurrent compiles of the same circuit")
+	}
+}

@@ -1,0 +1,155 @@
+package qasm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"epoc/internal/benchcirc"
+)
+
+// FuzzParse feeds arbitrary source text to the parser. The contract:
+// Parse never panics and never runs unbounded, and any program it
+// accepts survives a Write → Parse round trip (the circuit the writer
+// prints is itself valid QASM describing the same ops).
+func FuzzParse(f *testing.F) {
+	// Seed with the real benchmark files...
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.qasm"))
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// ...the writer's own output for the built-in circuits...
+	for _, name := range benchcirc.Names() {
+		c, _ := benchcirc.Get(name)
+		if src, err := Write(c); err == nil {
+			f.Add(src)
+		}
+	}
+	// ...and regression inputs for past parser panics and hangs.
+	f.Add("qreg q[2];\ncx q[0],q[0];\n")   // duplicate qubit operand
+	f.Add("qreg q[3];\ncx q,q;\n")         // duplicate via broadcast
+	f.Add("qreg q[1];\nrx(1/0.0) q[0];\n") // non-finite parameter
+	f.Add("qreg q[1];\nrx(----1) q[0];\n") // deep unary nesting
+	f.Add("qreg q[999999999];\nx q;\n")    // oversized register broadcast
+	f.Add("gate g a { x a; x a; }\nqreg q[1];\ng q[0];\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog.Circuit.NumQubits == 0 {
+			// A program with no qreg has no QASM spelling (Write would
+			// emit qreg q[0], which is invalid).
+			return
+		}
+		out, err := Write(prog.Circuit)
+		if err != nil {
+			// The writer only supports gates it can name; a parsed
+			// program may legitimately be unwritable.
+			return
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("written output failed to re-parse: %v\noutput:\n%s", err, out)
+		}
+		if back.Circuit.NumQubits != prog.Circuit.NumQubits {
+			t.Fatalf("round trip changed qubit count: %d -> %d",
+				prog.Circuit.NumQubits, back.Circuit.NumQubits)
+		}
+		if len(back.Circuit.Ops) != len(prog.Circuit.Ops) {
+			t.Fatalf("round trip changed op count: %d -> %d",
+				len(prog.Circuit.Ops), len(back.Circuit.Ops))
+		}
+	})
+}
+
+// TestParseRejectsHostileInputs pins the parser-hardening fixes found
+// by fuzzing: each input used to panic or admit unbounded work, and
+// must now fail with a plain error.
+func TestParseRejectsHostileInputs(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "duplicate indexed operands",
+			src:     "qreg q[2];\ncx q[0],q[0];\n",
+			wantErr: "duplicate qubit operand",
+		},
+		{
+			name:    "duplicate broadcast operands",
+			src:     "qreg q[3];\ncx q,q;\n",
+			wantErr: "duplicate qubit operand",
+		},
+		{
+			name:    "duplicate operands inside gate body",
+			src:     "gate g a, b { cx a, a; }\nqreg q[2];\ng q[0],q[1];\n",
+			wantErr: "duplicate qubit operand",
+		},
+		{
+			name:    "infinite parameter",
+			src:     "qreg q[1];\nrx(exp(99999)) q[0];\n",
+			wantErr: "not finite",
+		},
+		{
+			name:    "nan parameter",
+			src:     "qreg q[1];\nrx(ln(-1)) q[0];\n",
+			wantErr: "not finite",
+		},
+		{
+			name:    "oversized register",
+			src:     "qreg q[999999999];\nx q[0];\n",
+			wantErr: "past 16384",
+		},
+		{
+			name:    "oversized total across registers",
+			src:     "qreg a[16000];\nqreg b[16000];\n",
+			wantErr: "past 16384",
+		},
+		{
+			name:    "deep unary nesting",
+			src:     "qreg q[1];\nrx(" + strings.Repeat("-", 5000) + "1) q[0];\n",
+			wantErr: "nested deeper",
+		},
+		{
+			name:    "deep paren nesting",
+			src:     "qreg q[1];\nrx(" + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + ") q[0];\n",
+			wantErr: "nested deeper",
+		},
+		{
+			name: "exponential gate expansion",
+			src: "qreg q[1];\n" +
+				"gate g0 a { x a; x a; }\n" +
+				expansionTower(30) +
+				"g30 q[0];\n",
+			wantErr: "exceeds",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("hostile input accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// expansionTower defines g1..gN where each gi doubles gi-1: naive
+// expansion of gN emits 2^(N+1) ops.
+func expansionTower(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "gate g%d a { g%d a; g%d a; }\n", i, i-1, i-1)
+	}
+	return b.String()
+}

@@ -50,14 +50,30 @@ type qref struct {
 	indexed bool
 }
 
+// Resource limits. QASM inputs are untrusted (fuzzed, user-supplied
+// benchmark files); these bound the work a single Parse can demand.
+const (
+	// maxQubits caps the flattened qubit count across all qregs. The
+	// pipeline never simulates past ~a dozen qubits, but parsing alone
+	// must stay cheap for any accepted input.
+	maxQubits = 16384
+	// maxOps caps emitted circuit ops: nested gate definitions expand
+	// multiplicatively, so a small source can demand exponential work.
+	maxOps = 1 << 20
+	// maxExprDepth caps parameter-expression nesting; unary minus and
+	// parentheses recurse once per level.
+	maxExprDepth = 200
+)
+
 type parser struct {
-	toks   []token
-	pos    int
-	qregs  map[string]*Register
-	cregs  map[string]*Register
-	defs   map[string]*gateDef
-	prog   *Program
-	nQubit int
+	toks      []token
+	pos       int
+	qregs     map[string]*Register
+	cregs     map[string]*Register
+	defs      map[string]*gateDef
+	prog      *Program
+	nQubit    int
+	exprDepth int
 }
 
 // Parse compiles QASM source text into a Program.
@@ -197,6 +213,9 @@ func (p *parser) parseReg(quantum bool) error {
 	size, err := strconv.Atoi(p.cur().text)
 	if err != nil || size <= 0 {
 		return p.errf("bad register size %q", p.cur().text)
+	}
+	if quantum && p.nQubit+size > maxQubits {
+		return p.errf("register %q pushes qubit count past %d", name, maxQubits)
 	}
 	p.advance()
 	if err := p.expectSymbol("]"); err != nil {
@@ -361,6 +380,9 @@ func (p *parser) emitCall(c *circuit.Circuit, call gateCall, env *evalEnv, bindi
 		if err != nil {
 			return fmt.Errorf("qasm: line %d: %v", call.line, err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("qasm: line %d: parameter %d of %q is not finite", call.line, i, call.name)
+		}
 		params[i] = v
 	}
 
@@ -415,6 +437,16 @@ func (p *parser) emitCall(c *circuit.Circuit, call gateCall, env *evalEnv, bindi
 
 // applyNamed applies a resolved call (concrete params and qubits).
 func (p *parser) applyNamed(c *circuit.Circuit, call gateCall, params []float64, qubits []int, depth int) error {
+	for i, q := range qubits {
+		for _, prev := range qubits[:i] {
+			if q == prev {
+				return fmt.Errorf("qasm: line %d: duplicate qubit operand for %q", call.line, call.name)
+			}
+		}
+	}
+	if len(c.Ops) >= maxOps {
+		return fmt.Errorf("qasm: line %d: circuit exceeds %d ops", call.line, maxOps)
+	}
 	if kind, ok := kindFor[call.name]; ok {
 		spec := gate.Registry[kind]
 		if len(params) != spec.Params || len(qubits) != spec.Qubits {
@@ -533,6 +565,11 @@ func (b binExpr) eval(env *evalEnv) (float64, error) {
 
 // parseExpr parses an additive expression.
 func (p *parser) parseExpr() (expr, error) {
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
+	if p.exprDepth > maxExprDepth {
+		return nil, p.errf("expression nested deeper than %d", maxExprDepth)
+	}
 	left, err := p.parseTerm()
 	if err != nil {
 		return nil, err
@@ -567,6 +604,13 @@ func (p *parser) parseTerm() (expr, error) {
 }
 
 func (p *parser) parseUnary() (expr, error) {
+	// Unary minus recurses without passing through parseExpr, so the
+	// depth guard must cover it too.
+	p.exprDepth++
+	defer func() { p.exprDepth-- }()
+	if p.exprDepth > maxExprDepth {
+		return nil, p.errf("expression nested deeper than %d", maxExprDepth)
+	}
 	if p.cur().kind == tokSymbol && p.cur().text == "-" {
 		p.advance()
 		x, err := p.parseUnary()

@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"sync"
+
+	"epoc/internal/circuit"
+	"epoc/internal/linalg"
+)
+
+// CacheStatus classifies the outcome of a Cache.GetOrCompute call.
+type CacheStatus int
+
+const (
+	// CacheMiss: no entry existed; this call ran the synthesis.
+	CacheMiss CacheStatus = iota
+	// CacheHit: a completed entry existed and was returned directly.
+	CacheHit
+	// CacheCoalesced: another goroutine was already synthesizing the
+	// same unitary; this call waited for its result instead of racing.
+	CacheCoalesced
+)
+
+// CacheTol bounds the verified phase distance between a requested
+// unitary and a stored entry (or, in the pipeline's duplicate-block
+// grouping, between two blocks sharing one synthesis). It is tighter
+// than the pulse library's matchTol because a cached circuit is
+// substituted for the block wholesale: two blocks may only share a
+// realization when their unitaries agree (up to global phase) well
+// below the synthesis accuracy threshold, so reuse never adds
+// observable error. It still sits comfortably above the ~1e-8
+// numerical noise floor of PhaseDistance on identical matrices
+// (sqrt amplifies the ~1e-16 trace rounding), so true duplicates
+// always match.
+const CacheTol = 1e-6
+
+// Cache is a goroutine-safe synthesis cache keyed by block unitary up
+// to global phase, using the same canonical-phase fingerprint scheme
+// as the pulse library. Duplicate unitaries are synthesized once;
+// concurrent requests for an in-flight unitary coalesce onto the
+// first computation rather than racing it. Every lookup is verified
+// against the stored unitary, so fingerprint collisions degrade to
+// independent entries instead of wrong circuits.
+//
+// Cached circuits are shared between callers and must be treated as
+// immutable. All methods are safe on a nil *Cache: GetOrCompute then
+// degrades to calling compute directly (no caching, no coalescing).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string][]*cacheEntry
+
+	hits, misses, coalesced int64
+}
+
+// cacheEntry is one synthesized unitary class. done is closed once
+// circ/ok are populated; readers that find an open entry wait on it.
+type cacheEntry struct {
+	u    *linalg.Matrix
+	done chan struct{}
+	circ *circuit.Circuit
+	ok   bool
+}
+
+// NewCache returns an empty synthesis cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string][]*cacheEntry{}}
+}
+
+// GetOrCompute returns the cached synthesis result for u, running
+// compute exactly once per unitary class (up to global phase). The
+// returned ok mirrors SynthesizeOutcome: true when the synthesis
+// reached the accuracy threshold, false when the caller should fall
+// back to the block's original realization. compute must not call
+// back into the same Cache.
+func (c *Cache) GetOrCompute(u *linalg.Matrix, compute func() (*circuit.Circuit, bool)) (*circuit.Circuit, bool, CacheStatus) {
+	if c == nil {
+		circ, ok := compute()
+		return circ, ok, CacheMiss
+	}
+	key := linalg.Fingerprint(u)
+	c.mu.Lock()
+	for _, e := range c.entries[key] {
+		if e.u.Rows != u.Rows || linalg.PhaseDistance(e.u, u) >= CacheTol {
+			continue
+		}
+		select {
+		case <-e.done: // completed entry
+			c.hits++
+			c.mu.Unlock()
+			return e.circ, e.ok, CacheHit
+		default: // in flight: wait outside the lock
+			c.coalesced++
+			c.mu.Unlock()
+			<-e.done
+			return e.circ, e.ok, CacheCoalesced
+		}
+	}
+	e := &cacheEntry{u: u.Clone(), done: make(chan struct{})}
+	c.entries[key] = append(c.entries[key], e)
+	c.misses++
+	c.mu.Unlock()
+	e.circ, e.ok = compute()
+	close(e.done)
+	return e.circ, e.ok, CacheMiss
+}
+
+// Len returns the number of distinct unitary classes stored.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, es := range c.entries {
+		n += len(es)
+	}
+	return n
+}
+
+// Hits returns the number of completed-entry lookups served.
+func (c *Cache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns the number of lookups that ran a synthesis.
+func (c *Cache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Coalesced returns the number of lookups that waited on an in-flight
+// synthesis of the same unitary.
+func (c *Cache) Coalesced() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
+}

@@ -1,0 +1,183 @@
+package synth
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"epoc/internal/circuit"
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+)
+
+func cxCircuit() *circuit.Circuit {
+	c := circuit.New(2)
+	c.Append(gate.New(gate.CX), 0, 1)
+	return c
+}
+
+func TestCacheHitMissCounting(t *testing.T) {
+	c := NewCache()
+	u := gate.New(gate.CX).Matrix()
+	calls := 0
+	compute := func() (*circuit.Circuit, bool) {
+		calls++
+		return cxCircuit(), true
+	}
+	circ1, ok, st := c.GetOrCompute(u, compute)
+	if !ok || st != CacheMiss || calls != 1 {
+		t.Fatalf("first lookup: ok=%v status=%v calls=%d", ok, st, calls)
+	}
+	circ2, ok, st := c.GetOrCompute(u, compute)
+	if !ok || st != CacheHit || calls != 1 {
+		t.Fatalf("second lookup: ok=%v status=%v calls=%d", ok, st, calls)
+	}
+	if circ1 != circ2 {
+		t.Fatal("hit returned a different circuit instance")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Coalesced() != 0 || c.Len() != 1 {
+		t.Fatalf("counters: hits=%d misses=%d coalesced=%d len=%d",
+			c.Hits(), c.Misses(), c.Coalesced(), c.Len())
+	}
+}
+
+func TestCacheMatchesUpToGlobalPhase(t *testing.T) {
+	c := NewCache()
+	u := gate.New(gate.CX).Matrix()
+	phased := u.Scale(cmplx.Exp(0.7i))
+	calls := 0
+	compute := func() (*circuit.Circuit, bool) {
+		calls++
+		return cxCircuit(), true
+	}
+	if _, _, st := c.GetOrCompute(u, compute); st != CacheMiss {
+		t.Fatalf("expected miss, got %v", st)
+	}
+	if _, _, st := c.GetOrCompute(phased, compute); st != CacheHit {
+		t.Fatalf("phase-rotated unitary should hit, got %v (calls=%d)", st, calls)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+}
+
+func TestCacheDistinguishesDistinctUnitaries(t *testing.T) {
+	c := NewCache()
+	rng := rand.New(rand.NewSource(11))
+	u1 := linalg.RandomUnitary(4, rng)
+	u2 := linalg.RandomUnitary(4, rng)
+	calls := 0
+	compute := func() (*circuit.Circuit, bool) {
+		calls++
+		return cxCircuit(), true
+	}
+	c.GetOrCompute(u1, compute)
+	if _, _, st := c.GetOrCompute(u2, compute); st != CacheMiss {
+		t.Fatalf("distinct unitary should miss, got %v", st)
+	}
+	if calls != 2 || c.Len() != 2 {
+		t.Fatalf("calls=%d len=%d", calls, c.Len())
+	}
+}
+
+// TestCacheCoalescesInFlight pins the coalescing contract: a second
+// request for an in-flight unitary waits for the first computation
+// instead of starting its own.
+func TestCacheCoalescesInFlight(t *testing.T) {
+	c := NewCache()
+	u := gate.New(gate.CX).Matrix()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls sync.WaitGroup
+	calls.Add(1)
+	go func() {
+		defer calls.Done()
+		_, ok, st := c.GetOrCompute(u, func() (*circuit.Circuit, bool) {
+			close(started)
+			<-release
+			return cxCircuit(), true
+		})
+		if !ok || st != CacheMiss {
+			t.Errorf("first requester: ok=%v status=%v", ok, st)
+		}
+	}()
+	<-started // the first computation is now in flight
+	done := make(chan CacheStatus, 1)
+	go func() {
+		_, _, st := c.GetOrCompute(u, func() (*circuit.Circuit, bool) {
+			t.Error("coalesced requester ran its own compute")
+			return nil, false
+		})
+		done <- st
+	}()
+	// Wait until the second requester is parked on the in-flight entry
+	// (the coalesced counter increments before it blocks), then check
+	// it has not finished.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Coalesced() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second requester never coalesced")
+		}
+		runtime.Gosched()
+	}
+	select {
+	case st := <-done:
+		t.Fatalf("second requester finished before the first (status %v)", st)
+	default:
+	}
+	close(release)
+	if st := <-done; st != CacheCoalesced {
+		t.Fatalf("second requester status %v, want CacheCoalesced", st)
+	}
+	calls.Wait()
+	if c.Coalesced() != 1 || c.Misses() != 1 {
+		t.Fatalf("coalesced=%d misses=%d", c.Coalesced(), c.Misses())
+	}
+}
+
+func TestCacheNilSafe(t *testing.T) {
+	var c *Cache
+	u := gate.New(gate.CX).Matrix()
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, ok, st := c.GetOrCompute(u, func() (*circuit.Circuit, bool) {
+			calls++
+			return cxCircuit(), true
+		})
+		if !ok || st != CacheMiss {
+			t.Fatalf("nil cache: ok=%v status=%v", ok, st)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("nil cache must always compute; calls=%d", calls)
+	}
+	if c.Len() != 0 || c.Hits() != 0 || c.Misses() != 0 || c.Coalesced() != 0 {
+		t.Fatal("nil cache counters must be zero")
+	}
+}
+
+// TestCachePreservesFallbackFlag: a failed synthesis outcome (ok =
+// false) is cached too, so duplicates don't re-run a search that is
+// known to miss the threshold — but each caller still applies its own
+// fallback.
+func TestCachePreservesFallbackFlag(t *testing.T) {
+	c := NewCache()
+	u := gate.New(gate.CX).Matrix()
+	calls := 0
+	compute := func() (*circuit.Circuit, bool) {
+		calls++
+		return cxCircuit(), false
+	}
+	if _, ok, _ := c.GetOrCompute(u, compute); ok {
+		t.Fatal("expected ok=false from compute")
+	}
+	if _, ok, st := c.GetOrCompute(u, compute); ok || st != CacheHit {
+		t.Fatalf("cached failure: ok=%v status=%v", ok, st)
+	}
+	if calls != 1 {
+		t.Fatalf("failed synthesis re-ran: calls=%d", calls)
+	}
+}

@@ -22,25 +22,36 @@ func Synthesize1Q(u *linalg.Matrix) *circuit.Circuit {
 	return c
 }
 
-// SynthesizeBlock synthesizes a block unitary into VUGs (U3) + CNOTs,
-// verifying the result. It reports ok = true when the search reached
-// the accuracy threshold and the synthesized circuit is returned.
-// Otherwise ok is false and the fallback, when non-nil, is returned
-// instead — callers pass the block's original gate realization, so
-// synthesis is a best-effort improvement and never a correctness risk.
-// With a nil fallback the best (out-of-threshold) search result is
-// returned, still with ok = false.
-func SynthesizeBlock(u *linalg.Matrix, fallback *circuit.Circuit, opts Options) (*circuit.Circuit, bool) {
-	const threshold = 1e-7
+// threshold is the phase-invariant distance below which a QSearch
+// result counts as an exact synthesis of the target.
+const threshold = 1e-7
+
+// SynthesizeOutcome synthesizes a block unitary into VUGs (U3) +
+// CNOTs and reports ok = true when the search reached the accuracy
+// threshold. On failure the best (out-of-threshold) search result is
+// still returned with ok = false; the caller decides what to fall
+// back to. The outcome is a deterministic function of the unitary (up
+// to global phase) and opts, which is what makes it cacheable and
+// shareable across duplicate blocks.
+func SynthesizeOutcome(u *linalg.Matrix, opts Options) (*circuit.Circuit, bool) {
 	res := QSearch(u, opts)
-	if res.Distance < threshold {
-		return res.Circuit, true
+	return res.Circuit, res.Distance < threshold
+}
+
+// SynthesizeBlock is SynthesizeOutcome with fallback substitution:
+// when the search misses the threshold and fallback is non-nil, the
+// fallback is returned instead — callers pass the block's original
+// gate realization, so synthesis is a best-effort improvement and
+// never a correctness risk.
+func SynthesizeBlock(u *linalg.Matrix, fallback *circuit.Circuit, opts Options) (*circuit.Circuit, bool) {
+	circ, ok := SynthesizeOutcome(u, opts)
+	if !ok {
+		opts.Obs.Add("synth/fallbacks", 1)
+		if fallback != nil {
+			return fallback, false
+		}
 	}
-	opts.Obs.Add("synth/fallbacks", 1)
-	if fallback != nil {
-		return fallback, false
-	}
-	return res.Circuit, false
+	return circ, ok
 }
 
 func zeroAngle(a float64) bool {
