@@ -1,14 +1,20 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet lint test race bench fuzz ci
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (cmd/epoc-lint): numerical and
+# concurrency invariants — float equality, global rand, import DAG,
+# unchecked in-module errors, copied locks. See DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/epoc-lint ./...
 
 test:
 	$(GO) test ./...
@@ -25,4 +31,4 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
 
-ci: build vet race
+ci: build vet lint race

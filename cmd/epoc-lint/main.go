@@ -1,0 +1,142 @@
+// Command epoc-lint runs the project's static-analysis suite
+// (internal/lint) over the module: floatcmp, globalrand, layering,
+// errcheck and copylockplus — the numerical and concurrency
+// invariants EPOC's correctness claims depend on but the compiler
+// cannot check. See DESIGN.md §8 for the analyzer catalog and the
+// //epoc:lint-ignore suppression syntax.
+//
+// Usage:
+//
+//	epoc-lint [flags] [./...|./internal/synth|...]
+//
+// Exit status: 0 when clean, 1 when any unsuppressed finding exists,
+// 2 when the module fails to load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"epoc/internal/lint"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list analyzers and exit")
+		run        = flag.String("run", "", "comma-separated analyzers to run (default: all)")
+		suppressed = flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+		modDir     = flag.String("mod", "", "module root to lint (default: walk up from cwd to go.mod); a tree without go.mod is compiled as module \"epoc\", which is how the testdata fixtures run")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: epoc-lint [flags] [patterns]\n\npatterns are ./... (default) or ./<dir> prefixes relative to the module root\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *run != "" {
+		var err error
+		analyzers, err = lint.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-lint:", err)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epoc-lint:", err)
+		os.Exit(2)
+	}
+	var root, modPath string
+	if *modDir != "" {
+		root, err = filepath.Abs(*modDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-lint:", err)
+			os.Exit(2)
+		}
+		if r, mp, err := lint.FindModuleRoot(root); err == nil && r == root {
+			modPath = mp
+		} else {
+			modPath = "epoc" // fixture trees carry no go.mod
+		}
+	} else {
+		root, modPath, err = lint.FindModuleRoot(cwd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-lint:", err)
+			os.Exit(2)
+		}
+	}
+	mod, err := lint.LoadModule(root, modPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epoc-lint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings := lint.Run(mod, analyzers)
+	failed := 0
+	nsup := 0
+	for _, f := range findings {
+		if !matchesPatterns(mod, root, f.Pos.Filename, patterns) {
+			continue
+		}
+		rel, err := filepath.Rel(cwd, f.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			rel = f.Pos.Filename
+		}
+		if f.Suppressed {
+			nsup++
+			if *suppressed {
+				fmt.Printf("%s:%d:%d: %s: suppressed (%s): %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Reason, f.Message)
+			}
+			continue
+		}
+		failed++
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "epoc-lint: %d finding(s) (%d suppressed)\n", failed, nsup)
+		os.Exit(1)
+	}
+}
+
+// matchesPatterns reports whether filename (absolute) falls under any
+// of the go-style patterns, resolved relative to the module root.
+func matchesPatterns(mod *lint.Module, root, filename string, patterns []string) bool {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(filepath.Dir(rel))
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "." {
+			return true
+		}
+		if suffix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == suffix || strings.HasPrefix(rel, suffix+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}

@@ -31,6 +31,7 @@ func compileGateBased(c *circuit.Circuit, o Options) (*Result, error) {
 			return nil, fmt.Errorf("core: gate-based flow cannot lower block gate %s", op.G)
 		}
 		dur := o.Device.GateLatency(op.G.Kind)
+		//epoc:lint-ignore floatcmp GateLatency returns exactly 0 only for virtual frame-change gates
 		if dur == 0 {
 			continue // virtual gate (frame change)
 		}

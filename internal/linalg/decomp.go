@@ -39,6 +39,7 @@ func LUDecompose(a *Matrix) (*LU, error) {
 				p = i
 			}
 		}
+		//epoc:lint-ignore floatcmp pivot magnitude exactly 0 means structurally singular
 		if best == 0 {
 			return nil, ErrSingular
 		}
@@ -51,6 +52,7 @@ func LUDecompose(a *Matrix) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			f := lu.At(i, k) / pivVal
 			lu.Set(i, k, f)
+			//epoc:lint-ignore floatcmp exact-zero sparsity fast path; elimination of a zero entry is a no-op
 			if f == 0 {
 				continue
 			}
@@ -165,11 +167,13 @@ func QRDecompose(a *Matrix) (q, r *Matrix) {
 			normx += absSq(r.At(i, k))
 		}
 		normx = math.Sqrt(normx)
+		//epoc:lint-ignore floatcmp an exactly-zero column needs no Householder reflection
 		if normx == 0 {
 			continue
 		}
 		akk := r.At(k, k)
 		var alpha complex128
+		//epoc:lint-ignore floatcmp exact zero selects the real-alpha branch; any nonzero magnitude uses its phase
 		if akk == 0 {
 			alpha = complex(-normx, 0)
 		} else {
@@ -183,6 +187,7 @@ func QRDecompose(a *Matrix) (q, r *Matrix) {
 		for i := k; i < m; i++ {
 			vnorm += absSq(v[i])
 		}
+		//epoc:lint-ignore floatcmp guards division by the reflector norm
 		if vnorm == 0 {
 			continue
 		}

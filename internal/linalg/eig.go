@@ -146,6 +146,7 @@ func EigSymmetricReal(a *Matrix) (vals []float64, vecs *Matrix) {
 				best = vecs.At(r, c)
 			}
 		}
+		//epoc:lint-ignore floatcmp guards normalization when the eigencolumn is exactly zero
 		if bestAbs == 0 {
 			continue
 		}

@@ -132,6 +132,7 @@ func expIFromEig(vals []float64, vecs *Matrix, s float64) *Matrix {
 		ph := cmplx.Exp(complex(0, s*vals[k]))
 		for i := 0; i < n; i++ {
 			vik := vecs.At(i, k) * ph
+			//epoc:lint-ignore floatcmp exact-zero sparsity fast path; skipping a zero term is exact
 			if vik == 0 {
 				continue
 			}

@@ -142,6 +142,7 @@ func (m *Matrix) Mul(n *Matrix) *Matrix {
 		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
 		orow := out.Data[i*n.Cols : (i+1)*n.Cols]
 		for k, a := range mrow {
+			//epoc:lint-ignore floatcmp exact-zero sparsity fast path in the mul kernel
 			if a == 0 {
 				continue
 			}
@@ -218,6 +219,7 @@ func (m *Matrix) Kron(n *Matrix) *Matrix {
 	for i := 0; i < m.Rows; i++ {
 		for j := 0; j < m.Cols; j++ {
 			a := m.Data[i*m.Cols+j]
+			//epoc:lint-ignore floatcmp exact-zero sparsity fast path in the kron kernel
 			if a == 0 {
 				continue
 			}

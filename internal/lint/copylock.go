@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Copylockplus flags by-value movement of lock-carrying structs in
+// places go vet's copylocks pass does not look: function results,
+// value receivers, by-value parameters and range clauses over
+// elements that transitively contain sync.Mutex, sync.RWMutex,
+// sync.Once, sync.WaitGroup, sync.Cond, sync.Pool, sync.Map or an
+// obs.Recorder value. A copied mutex is two mutexes that both think
+// they guard one thing — in this pipeline that means a shared
+// synth.Cache or obs.Recorder silently stops synchronizing and the
+// Workers determinism guarantee dies without a data-race report.
+//
+// Only in-module named types, direct sync types and anonymous structs
+// are checked; third-party value types are stdlib's business.
+var Copylockplus = &Analyzer{
+	Name: "copylockplus",
+	Doc:  "flags by-value params/results/receivers/range of structs carrying sync or obs state",
+	Run:  runCopylockplus,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true,
+	"WaitGroup": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runCopylockplus(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(p, n.Recv, "receiver")
+				if n.Type != nil {
+					checkFieldList(p, n.Type.Params, "parameter")
+					checkFieldList(p, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				checkFieldList(p, n.Type.Params, "parameter")
+				checkFieldList(p, n.Type.Results, "result")
+			case *ast.RangeStmt:
+				checkRangeCopy(p, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldList(p *Pass, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if why := copyUnsafe(p, tv.Type); why != "" {
+			p.Reportf(field.Type.Pos(), "%s passes %s by value (contains %s); use a pointer", role, types.TypeString(tv.Type, nil), why)
+		}
+	}
+}
+
+func checkRangeCopy(p *Pass, n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	var t types.Type
+	if id, ok := n.Value.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		// With := the value var is a definition, recorded in Defs
+		// rather than Types; ObjectOf covers both forms.
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			t = obj.Type()
+		}
+	} else if tv, ok := p.Info.Types[n.Value]; ok {
+		t = tv.Type
+	}
+	if t == nil {
+		return
+	}
+	if why := copyUnsafe(p, t); why != "" {
+		p.Reportf(n.Value.Pos(), "range clause copies %s by value (contains %s); range by index or store pointers", types.TypeString(t, nil), why)
+	}
+}
+
+// copyUnsafe returns a description of the lock buried inside t, or ""
+// when t is safe to copy. Pointers, slices, maps and channels are
+// references and always safe; only in-module named types, direct sync
+// types and anonymous structs/arrays are inspected.
+func copyUnsafe(p *Pass, t types.Type) string {
+	switch t := t.(type) {
+	case *types.Named:
+		pkg := t.Obj().Pkg()
+		if pkg == nil {
+			return ""
+		}
+		if pkg.Path() == "sync" && syncLockTypes[t.Obj().Name()] {
+			return "sync." + t.Obj().Name()
+		}
+		if !p.Module.InModule(pkg.Path()) {
+			return ""
+		}
+		if pkg.Path() == p.Module.Path+"/internal/obs" && t.Obj().Name() == "Recorder" {
+			return "obs.Recorder"
+		}
+		return lockInside(p, t.Underlying(), map[types.Type]bool{t: true})
+	case *types.Struct, *types.Array:
+		return lockInside(p, t, map[types.Type]bool{})
+	}
+	return ""
+}
+
+// lockInside walks struct fields and array elements looking for a
+// lock-carrying type, following named types regardless of package
+// (a field's type already escaped the "in-module only" gate above).
+func lockInside(p *Pass, t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		pkg := t.Obj().Pkg()
+		if pkg != nil {
+			if pkg.Path() == "sync" && syncLockTypes[t.Obj().Name()] {
+				return "sync." + t.Obj().Name()
+			}
+			if pkg.Path() == p.Module.Path+"/internal/obs" && t.Obj().Name() == "Recorder" {
+				return "obs.Recorder"
+			}
+		}
+		return lockInside(p, t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if why := lockInside(p, t.Field(i).Type(), seen); why != "" {
+				return why
+			}
+		}
+	case *types.Array:
+		return lockInside(p, t.Elem(), seen)
+	}
+	return ""
+}

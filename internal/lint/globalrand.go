@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Globalrand forbids process-global randomness inside internal/*.
+// PR 2's guarantee — byte-identical pipeline output at any Workers
+// count — only holds if every random draw flows through an injected,
+// explicitly seeded *rand.Rand. The math/rand package-level functions
+// share one hidden source whose consumption order depends on goroutine
+// scheduling, and a time.Now()-derived seed makes two runs of the same
+// compile disagree, which poisons phase-keyed caches and golden tests.
+//
+// Allowed: constructing sources (rand.New, rand.NewSource, rand.NewZipf
+// and the v2 equivalents) from fixed seeds, and everything on an
+// injected *rand.Rand value.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids math/rand global functions and time.Now()-derived seeds in internal/*",
+	Run:  runGlobalrand,
+}
+
+// globalrandConstructors are the math/rand functions that build a new
+// explicit source rather than draw from the hidden global one.
+var globalrandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runGlobalrand(p *Pass) {
+	if !strings.HasPrefix(p.Pkg.Path, p.Module.Path+"/internal/") {
+		return
+	}
+
+	// Pass 1: any use of a math/rand package-level function outside
+	// the constructor allowlist draws from the hidden global source.
+	type use struct {
+		id *ast.Ident
+		fn *types.Func
+	}
+	var uses []use
+	for id, obj := range p.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			continue // methods on *rand.Rand / rand.Source are the sanctioned path
+		}
+		if globalrandConstructors[fn.Name()] {
+			continue
+		}
+		uses = append(uses, use{id, fn})
+	}
+	sort.Slice(uses, func(i, j int) bool { return uses[i].id.Pos() < uses[j].id.Pos() })
+	for _, u := range uses {
+		p.Reportf(u.id.Pos(), "%s.%s draws from the process-global rand source; inject a seeded *rand.Rand instead (determinism at any Workers count)", u.fn.Pkg().Path(), u.fn.Name())
+	}
+
+	// Pass 2: constructors are fine, but not when seeded from the
+	// wall clock — that defeats reproducibility just as thoroughly.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) || !globalrandConstructors[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if now := findTimeNow(p, arg); now != nil {
+					p.Reportf(now.Pos(), "rand source seeded from time.Now(); use a fixed or caller-injected seed so runs are reproducible")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// findTimeNow returns the first time.Now() call anywhere inside e.
+func findTimeNow(p *Pass, e ast.Expr) ast.Expr {
+	var hit ast.Expr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if hit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			hit = call
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// calleeFunc resolves the called function object of call, unwrapping
+// parens; nil for builtins, conversions and indirect calls.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		paren, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = paren.X
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}

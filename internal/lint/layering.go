@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Layering enforces the package import DAG documented in
+// ARCHITECTURE.md ("Enforced import DAG"). The table below is the
+// machine-readable copy: each internal package lists the in-module
+// packages it may import, and anything else is a finding. On top of
+// the table, three structural rules always hold:
+//
+//   - cmd/* is never imported by anyone;
+//   - internal/* never imports cmd/*, examples/*, or the root facade;
+//   - an internal package with in-module imports must appear in the
+//     table, so the DAG cannot drift undocumented.
+//
+// cmd/* may import the facade and any internal package; examples/*
+// may import anything except cmd/* and other examples; the root
+// facade imports only internal/*.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "enforces the ARCHITECTURE.md import DAG (obs/linalg/opt are leaves, internal never imports cmd)",
+	Run:  runLayering,
+}
+
+// layeringDAG is the single source of truth for the internal import
+// DAG, keyed by module-relative package path. Keep the table and the
+// ARCHITECTURE.md "Enforced import DAG" section in sync — the
+// self-check test fails if code drifts from this table.
+var layeringDAG = map[string][]string{
+	// Leaves: depend on nothing in-module. obs must stay dependency-free
+	// (PR 1), linalg and opt are the numerical foundation.
+	"internal/gate":   {"internal/linalg"},
+	"internal/linalg": {},
+	"internal/lint":   {},
+	"internal/obs":    {},
+	"internal/opt":    {},
+
+	// Circuit IR and its direct consumers.
+	"internal/benchcirc": {"internal/circuit", "internal/gate"},
+	"internal/circuit":   {"internal/gate", "internal/linalg"},
+	"internal/densesim":  {"internal/circuit", "internal/gate", "internal/linalg"},
+	"internal/optimize":  {"internal/circuit", "internal/gate", "internal/linalg"},
+	"internal/partition": {"internal/circuit", "internal/gate", "internal/linalg"},
+	"internal/qasm":      {"internal/circuit", "internal/gate"},
+	"internal/route":     {"internal/circuit", "internal/gate"},
+	"internal/sim":       {"internal/circuit", "internal/linalg"},
+	"internal/zx":        {"internal/circuit", "internal/gate", "internal/optimize"},
+
+	// Pulse/QOC layer.
+	"internal/hardware": {"internal/gate", "internal/qoc"},
+	"internal/pulse":    {"internal/linalg"},
+	"internal/qoc":      {"internal/gate", "internal/linalg", "internal/obs", "internal/opt"},
+	"internal/report":   {"internal/obs"},
+	"internal/synth":    {"internal/circuit", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize"},
+
+	// The pipeline orchestrator sits on top of everything.
+	"internal/core": {
+		"internal/circuit", "internal/gate", "internal/hardware",
+		"internal/linalg", "internal/obs", "internal/optimize",
+		"internal/partition", "internal/pulse", "internal/qoc",
+		"internal/route", "internal/sim", "internal/synth", "internal/zx",
+	},
+}
+
+func runLayering(p *Pass) {
+	rel := p.Module.relPath(p.Pkg.Path)
+	allowed, inTable := layeringDAG[rel]
+	allowedSet := map[string]bool{}
+	for _, a := range allowed {
+		allowedSet[a] = true
+	}
+
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !p.Module.InModule(path) {
+				continue
+			}
+			impRel := p.Module.relPath(path)
+			switch {
+			case strings.HasPrefix(impRel, "cmd/"):
+				p.Reportf(imp.Pos(), "import of %s: cmd/* packages are entry points and are never imported", path)
+			case strings.HasPrefix(rel, "internal/"):
+				switch {
+				case !strings.HasPrefix(impRel, "internal/"):
+					p.Reportf(imp.Pos(), "internal package imports %s; internal/* may only depend on other internal packages", path)
+				case !inTable:
+					p.Reportf(imp.Pos(), "package %s is not in the layering DAG table; add it to layeringDAG and the ARCHITECTURE.md import-DAG section", p.Pkg.Path)
+				case !allowedSet[impRel]:
+					p.Reportf(imp.Pos(), "import of %s is not in the DAG: %s may import {%s}", path, rel, strings.Join(sortedCopy(allowed), ", "))
+				}
+			case strings.HasPrefix(rel, "examples/"):
+				if strings.HasPrefix(impRel, "examples/") {
+					p.Reportf(imp.Pos(), "examples are standalone; %s must not import %s", rel, path)
+				}
+			case rel == ".": // the root facade
+				if !strings.HasPrefix(impRel, "internal/") {
+					p.Reportf(imp.Pos(), "the root facade imports only internal/*, not %s", path)
+				}
+			}
+		}
+	}
+}
+
+// relPath maps an in-module import path to its module-relative form
+// ("." for the root package).
+func (m *Module) relPath(path string) string {
+	if path == m.Path {
+		return "."
+	}
+	return strings.TrimPrefix(path, m.Path+"/")
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}

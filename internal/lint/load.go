@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a fully parsed, fully type-checked view of one Go module:
+// every buildable package under the root, non-test files only. Test
+// files are deliberately out of scope — the invariants epoc-lint
+// enforces protect shipped pipeline code, and test packages have their
+// own (seeded, per-test) determinism conventions.
+type Module struct {
+	Path     string // module path, e.g. "epoc"
+	Dir      string // absolute module root
+	Fset     *token.FileSet
+	Packages map[string]*Package // keyed by import path
+
+	sorted []*Package // dependency order, then import-path order
+}
+
+// Package is one loaded package.
+type Package struct {
+	Path  string // import path ("epoc", "epoc/internal/zx", ...)
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	imports []string // in-module imports, non-test files only
+}
+
+// Sorted returns the module's packages in deterministic dependency
+// order (imports before importers, ties broken by path).
+func (m *Module) Sorted() []*Package { return m.sorted }
+
+// InModule reports whether path names a package of this module.
+func (m *Module) InModule(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// LoadModule parses and type-checks every buildable package under dir,
+// resolving in-module imports against the tree itself and everything
+// else (the standard library) through the source importer — no
+// external tooling, no x/tools. modPath is the module path the tree is
+// compiled as; testdata fixtures reuse the real module path so
+// analyzer tables keyed by "epoc/..." apply verbatim.
+func LoadModule(dir, modPath string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Path:     modPath,
+		Dir:      abs,
+		Fset:     token.NewFileSet(),
+		Packages: map[string]*Package{},
+	}
+
+	if err := m.discover(); err != nil {
+		return nil, err
+	}
+	if err := m.typecheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// discover walks the tree, parsing each buildable package's non-test
+// files. Directories named testdata, vendor, or starting with "." or
+// "_" are skipped, matching the go tool's convention.
+func (m *Module) discover() error {
+	ctx := build.Default
+	return filepath.WalkDir(m.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		bp, err := ctx.ImportDir(path, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				return nil
+			}
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if len(bp.GoFiles) == 0 {
+			return nil
+		}
+
+		rel, err := filepath.Rel(m.Dir, path)
+		if err != nil {
+			return err
+		}
+		importPath := m.Path
+		if rel != "." {
+			importPath = m.Path + "/" + filepath.ToSlash(rel)
+		}
+
+		pkg := &Package{Path: importPath, Dir: path}
+		files := append([]string(nil), bp.GoFiles...)
+		sort.Strings(files)
+		for _, f := range files {
+			af, err := parser.ParseFile(m.Fset, filepath.Join(path, f), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("parse %s: %w", filepath.Join(path, f), err)
+			}
+			pkg.Files = append(pkg.Files, af)
+		}
+		for _, imp := range bp.Imports {
+			if imp == m.Path || strings.HasPrefix(imp, m.Path+"/") {
+				pkg.imports = append(pkg.imports, imp)
+			}
+		}
+		m.Packages[importPath] = pkg
+		return nil
+	})
+}
+
+// typecheck orders packages so imports come first, then checks each
+// with a chained importer: in-module paths resolve to the packages
+// loaded here, all others fall through to the source importer.
+func (m *Module) typecheck() error {
+	order, err := m.topoSort()
+	if err != nil {
+		return err
+	}
+	m.sorted = order
+
+	imp := &moduleImporter{
+		m:   m,
+		src: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, pkg := range order {
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		tpkg, err := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+		if err != nil || len(typeErrs) > 0 {
+			msgs := make([]string, 0, len(typeErrs))
+			for _, e := range typeErrs {
+				msgs = append(msgs, e.Error())
+			}
+			if len(msgs) == 0 {
+				msgs = append(msgs, err.Error())
+			}
+			return fmt.Errorf("type-check %s:\n  %s", pkg.Path, strings.Join(msgs, "\n  "))
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	return nil
+}
+
+// topoSort returns packages with every package after all of its
+// in-module imports, failing loudly on import cycles.
+func (m *Module) topoSort() ([]*Package, error) {
+	paths := make([]string, 0, len(m.Packages))
+	for p := range m.Packages {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*Package
+	var visit func(path string, trail []string) error
+	visit = func(path string, trail []string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle: %s -> %s", strings.Join(trail, " -> "), path)
+		}
+		state[path] = visiting
+		pkg := m.Packages[path]
+		deps := append([]string(nil), pkg.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if _, ok := m.Packages[dep]; !ok {
+				return fmt.Errorf("%s imports %s, which is not in the loaded module", path, dep)
+			}
+			if err := visit(dep, append(trail, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter serves in-module packages from the loaded tree and
+// defers everything else to the compiler's source importer.
+type moduleImporter struct {
+	m   *Module
+	src types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := mi.m.Packages[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("internal error: %s imported before it was type-checked", path)
+		}
+		return pkg.Types, nil
+	}
+	return mi.src.Import(path)
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and returns
+// the directory plus the declared module path.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+	}
+}

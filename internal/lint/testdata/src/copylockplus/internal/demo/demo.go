@@ -1,0 +1,67 @@
+// Package demo exercises copylockplus: by-value parameters, results,
+// receivers and range clauses over lock-carrying structs are flagged;
+// pointers and index-based ranging pass.
+package demo
+
+import (
+	"sync"
+
+	"epoc/internal/obs"
+)
+
+// Guarded carries a mutex directly.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper carries one transitively.
+type Wrapper struct{ g Guarded }
+
+// Traced carries an obs.Recorder by value (flagged even though the
+// fixture Recorder has no sync field — identity dies on copy).
+type Traced struct{ rec obs.Recorder }
+
+// Safe holds only references: copying it is fine.
+type Safe struct {
+	mu  *sync.Mutex
+	rec *obs.Recorder
+}
+
+func ByValueParam(g Guarded) int { // want "copylockplus: parameter passes .*Guarded by value \(contains sync.Mutex\)"
+	return g.n
+}
+
+func ByValueResult() Wrapper { // want "copylockplus: result passes .*Wrapper by value \(contains sync.Mutex\)"
+	return Wrapper{}
+}
+
+func (g Guarded) ValueReceiver() int { // want "copylockplus: receiver passes .*Guarded by value \(contains sync.Mutex\)"
+	return g.n
+}
+
+func TracedParam(t Traced) { // want "copylockplus: parameter passes .*Traced by value \(contains obs.Recorder\)"
+	_ = t
+}
+
+func RangeCopy(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "copylockplus: range clause copies .*Guarded by value"
+		total += g.n
+	}
+	return total
+}
+
+func Negatives(gs []Guarded, ptrs []*Guarded, s Safe) int {
+	total := 0
+	for i := range gs { // index ranging: no copy
+		total += gs[i].n
+	}
+	for _, p := range ptrs { // pointers: fine
+		total += p.n
+	}
+	_ = s // Safe holds references only
+	return total
+}
+
+func PointerParam(g *Guarded) int { return g.n }

@@ -1,0 +1,9 @@
+// Package obs mirrors the real recorder WITHOUT any sync field: the
+// copylockplus analyzer must still refuse to copy it by value, because
+// the real Recorder's identity (shared counters) dies on copy.
+package obs
+
+// Recorder is special-cased by name in copylockplus.
+type Recorder struct{ n int }
+
+func (r *Recorder) Add(delta int) { r.n += delta }

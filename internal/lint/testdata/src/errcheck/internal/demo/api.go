@@ -1,0 +1,14 @@
+// Package demo exercises the errcheck analyzer with an in-module API
+// whose error and ok results must be consumed.
+package demo
+
+import "errors"
+
+// Fallible returns an error that callers must check.
+func Fallible() error { return errors.New("boom") }
+
+// Lookup mimics synth.SynthesizeBlock's (value, ok) signature.
+func Lookup(k string) (int, bool) { return 0, k != "" }
+
+// Value has no error/ok result; bare calls are fine.
+func Value() int { return 7 }

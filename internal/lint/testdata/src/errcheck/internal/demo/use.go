@@ -1,0 +1,24 @@
+package demo
+
+import "fmt"
+
+func Violations() {
+	Fallible()       // want "errcheck: error returned by epoc/internal/demo.Fallible is not checked"
+	Lookup("k")      // want "errcheck: .* result of epoc/internal/demo.Lookup is discarded"
+	defer Fallible() // want "errcheck: defer error returned by epoc/internal/demo.Fallible is not checked"
+	go Fallible()    // want "errcheck: go error returned by epoc/internal/demo.Fallible is not checked"
+}
+
+func Negatives() {
+	if err := Fallible(); err != nil {
+		_ = err
+	}
+	_ = Fallible() // explicit discard: the reviewable form of "I mean it"
+	if v, ok := Lookup("k"); ok {
+		_ = v
+	}
+	Value()            // no error/ok result
+	fmt.Println("out") // stdlib: out of scope
+	//epoc:lint-ignore errcheck fixture: demonstrates a reasoned suppression
+	Fallible()
+}

@@ -1,0 +1,47 @@
+// Package demo exercises the floatcmp analyzer: raw float/complex
+// equality is flagged, while NaN probes, integer comparisons,
+// constant folding, allowlisted kernels and reasoned ignores are not.
+package demo
+
+import "math"
+
+func Violations(a, b float64, c, d complex128, xs []float64) bool {
+	if a == b { // want "floatcmp: float64 values compared with =="
+		return true
+	}
+	if c != d { // want "floatcmp: complex128 values compared with !="
+		return true
+	}
+	if a == 0.25 { // want "floatcmp: float64 values compared with =="
+		return true
+	}
+	switch a { // want "floatcmp: switch on float64 value"
+	case 1.0:
+		return true
+	}
+	for _, x := range xs {
+		if x == math.Pi { // want "floatcmp: float64 values compared with =="
+			return true
+		}
+	}
+	return false
+}
+
+func Negatives(a float64, n, m int) bool {
+	if a != a { // NaN probe: allowed
+		return true
+	}
+	if n == m { // ints: not floatcmp's business
+		return true
+	}
+	const x = 1.5
+	const y = 2.5
+	if x == y { // both constant: folded at compile time
+		return true
+	}
+	//epoc:lint-ignore floatcmp fixture: demonstrates a reasoned suppression
+	if a == 3.5 {
+		return true
+	}
+	return a > 1
+}

@@ -1,0 +1,18 @@
+// Package linalg mirrors the real module's tolerance kernel so the
+// fixture proves the floatcmpAllowed table works: PhaseDistance may
+// compare floats raw, anything else in the package may not.
+package linalg
+
+// PhaseDistance is allowlisted in floatcmpAllowed: no finding, even
+// though it compares floats with ==.
+func PhaseDistance(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return b - a
+}
+
+// NotAllowlisted is an ordinary function: same comparison, flagged.
+func NotAllowlisted(a, b float64) bool {
+	return a == b // want "floatcmp: float64 values compared with =="
+}

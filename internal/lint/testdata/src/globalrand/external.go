@@ -1,0 +1,8 @@
+// Package globalrandroot sits outside internal/*: globalrand does not
+// apply here (the root facade and cmd/* have their own review rules),
+// so the global draw below is a negative case.
+package globalrandroot
+
+import "math/rand"
+
+func OutsideInternal() int { return rand.Intn(4) }

@@ -1,0 +1,22 @@
+// Package demo exercises the globalrand analyzer: math/rand global
+// functions and wall-clock seeds are flagged inside internal/*, while
+// injected seeded sources pass.
+package demo
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Violations() float64 {
+	n := rand.Intn(10)                           // want "globalrand: math/rand.Intn draws from the process-global rand source"
+	f := rand.Float64()                          // want "globalrand: math/rand.Float64 draws from the process-global rand source"
+	rand.Shuffle(3, func(i, j int) {})           // want "globalrand: math/rand.Shuffle draws from the process-global rand source"
+	src := rand.NewSource(time.Now().UnixNano()) // want "globalrand: rand source seeded from time.Now"
+	return float64(n) + f + float64(src.Int63())
+}
+
+func Negatives(injected *rand.Rand) float64 {
+	rng := rand.New(rand.NewSource(42)) // fixed seed: the sanctioned pattern
+	return rng.Float64() + injected.Float64() + float64(injected.Intn(3))
+}

@@ -1,0 +1,16 @@
+// Package demo exercises suppression hygiene: a reasonless ignore, an
+// ignore naming an unknown analyzer, and an unparsable directive are
+// each findings of the pseudo-analyzer "lint"; a well-formed ignore
+// suppresses its target without any finding.
+package demo
+
+//epoc:lint-ignore floatcmp
+
+//epoc:lint-ignore nosuchanalyzer the analyzer name is wrong
+
+//epoc:lint-ignoreMALFORMED text
+
+func Clean(a, b float64) bool {
+	//epoc:lint-ignore floatcmp fixture: valid suppression with a reason
+	return a == b
+}

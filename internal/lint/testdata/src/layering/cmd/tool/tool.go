@@ -1,0 +1,10 @@
+// Package tool stands in for a CLI entry point. cmd/* may import any
+// internal package (negative case below) but is never imported itself.
+package tool
+
+import (
+	_ "epoc/internal/linalg"
+	_ "epoc/internal/obs"
+)
+
+func Main() {}

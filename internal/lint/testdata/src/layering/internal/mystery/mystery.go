@@ -1,0 +1,12 @@
+// Package mystery is absent from the layering DAG table, so its
+// in-module imports are flagged until the table (and ARCHITECTURE.md)
+// declare it. It also tries to import a cmd package, which nothing is
+// ever allowed to do.
+package mystery
+
+import (
+	_ "epoc/cmd/tool"        // want "layering: import of epoc/cmd/tool: cmd/\* packages are entry points"
+	_ "epoc/internal/linalg" // want "layering: package epoc/internal/mystery is not in the layering DAG table"
+)
+
+func X() {}

@@ -1,0 +1,9 @@
+// Package report may import obs (declared in the DAG table): this
+// import is the negative case.
+package report
+
+import (
+	_ "epoc/internal/obs"
+)
+
+func Render() string { return "" }

@@ -15,6 +15,7 @@ func (s *Schedule) Gantt(width int) string {
 	if width < 10 {
 		width = 10
 	}
+	//epoc:lint-ignore floatcmp latency is exactly 0 only for an empty schedule
 	if s.Latency == 0 || len(s.Items) == 0 {
 		return "(empty schedule)\n"
 	}

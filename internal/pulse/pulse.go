@@ -93,6 +93,7 @@ func (s *Schedule) Utilization() []float64 {
 		}
 	}
 	out := make([]float64, s.NumQubits)
+	//epoc:lint-ignore floatcmp latency is exactly 0 only for an empty schedule
 	if s.Latency == 0 {
 		return out
 	}

@@ -80,6 +80,7 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 	slots := len(amps)
 
 	lr := cfg.LearnRate
+	//epoc:lint-ignore floatcmp zero-value sentinel: unset LearnRate defaults to 0.02
 	if lr == 0 {
 		lr = 0.02
 	}
@@ -186,6 +187,7 @@ func traceProduct(a, b *linalg.Matrix) complex128 {
 	for i := 0; i < n; i++ {
 		arow := a.Data[i*n : (i+1)*n]
 		for k, av := range arow {
+			//epoc:lint-ignore floatcmp exact-zero sparsity fast path in the trace kernel
 			if av == 0 {
 				continue
 			}

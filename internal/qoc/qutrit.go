@@ -83,6 +83,7 @@ func (m *QutritModel) Leakage(u3 *linalg.Matrix) float64 {
 // is negative); validated empirically to suppress the 5 ns π-pulse
 // leakage by two orders of magnitude.
 func (m *QutritModel) DRAGBeta() float64 {
+	//epoc:lint-ignore floatcmp guards 1/alpha when anharmonicity is unset
 	if m.Anharmonicity == 0 {
 		return 0
 	}

@@ -76,6 +76,7 @@ func (t *Table) String() string {
 // PercentChange returns 100·(from-to)/from — the reduction of `to`
 // relative to `from` (positive = improvement when smaller is better).
 func PercentChange(from, to float64) float64 {
+	//epoc:lint-ignore floatcmp guards division; a baseline of exactly 0 means no reference value
 	if from == 0 {
 		return 0
 	}
