@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench fuzz ci
+.PHONY: all build vet lint test race test-leak bench fuzz ci
 
 all: build vet lint test
 
@@ -12,15 +12,26 @@ vet:
 
 # Project-specific static analysis (cmd/epoc-lint): numerical and
 # concurrency invariants — float equality, global rand, import DAG,
-# unchecked in-module errors, copied locks. See DESIGN.md §8.
+# unchecked in-module errors, copied locks, discarded contexts. See
+# DESIGN.md §8.
 lint:
 	$(GO) run ./cmd/epoc-lint ./...
 
+# An explicit -timeout so a cancellation/budget regression hangs the
+# suite for at most 5 minutes instead of the Go default 10.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 5m ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -timeout 10m -race ./...
+
+# The cancellation conformance and cache-coalescing suites, twice under
+# the race detector: goroutine leaks and cache poisoning that survive a
+# first pass show up as cross-run interference in the second.
+test-leak:
+	$(GO) test -timeout 10m -race -count=2 \
+		-run 'Cancel|Canceled|Budget|Degrad|Leak|Cache' \
+		./internal/core ./internal/synth ./internal/qoc ./internal/faultclock
 
 # Full benchmark harness; re-runs the paper's experiments (slow).
 bench:
@@ -31,4 +42,4 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
 
-ci: build vet lint race
+ci: build vet lint race test-leak

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"epoc/internal/benchcirc"
@@ -25,6 +27,26 @@ var statsMode bool
 // worker pools in every experiment compile. Results are identical at
 // any setting; only wall-clock time changes.
 var workerCount int
+
+// benchCtx (set by the -timeout flag) bounds the whole run: when it
+// expires every in-flight compile aborts with the context error.
+var benchCtx = context.Background()
+
+// benchBudgets (set by the -stage-budget flag) applies per-compile
+// degradation budgets to every experiment compile.
+var benchBudgets core.Budgets
+
+// compile routes every experiment compile through the run-wide
+// context and budgets, and surfaces degradation inline so a budgeted
+// run's tables are honest about which rows are best-so-far numbers.
+func compile(c *circuit.Circuit, opts core.Options) (*core.Result, error) {
+	opts.Budgets = benchBudgets
+	res, err := core.CompileContext(benchCtx, c, opts)
+	if err == nil && res.Degraded {
+		fmt.Printf("  [degraded: %s]\n", strings.Join(res.DegradeReasons, ", "))
+	}
+	return res, err
+}
 
 // newRecorder returns a fresh Recorder in stats mode, nil otherwise —
 // the nil recorder keeps the unobserved runs on the zero-cost path.
@@ -108,12 +130,12 @@ func runGroupingStudy(full bool) {
 	for _, name := range benchcirc.Names() {
 		c, _ := benchcirc.Get(name)
 		dev := hardware.LinearChain(c.NumQubits)
-		resNo, err := core.Compile(c, core.Options{Strategy: core.EPOCNoGroup, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec, Workers: workerCount})
+		resNo, err := compile(c, core.Options{Strategy: core.EPOCNoGroup, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s (no-group): %v\n", name, err)
 			continue
 		}
-		resYes, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec, Workers: workerCount})
+		resYes, err := compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: pulse.NewLibrary(true), Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s (group): %v\n", name, err)
 			continue
@@ -158,17 +180,17 @@ func runTable1(full bool) {
 	for _, name := range benchcirc.Table1Names() {
 		c, _ := benchcirc.Get(name)
 		dev := hardware.LinearChain(c.NumQubits)
-		gb, err := core.Compile(c, core.Options{Strategy: core.GateBased, Device: dev, Obs: rec})
+		gb, err := compile(c, core.Options{Strategy: core.GateBased, Device: dev, Obs: rec})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
 		}
-		pq, err := core.Compile(c, core.Options{Strategy: core.PAQOC, Device: dev, Mode: mode, Library: libPAQOC, Obs: rec, Workers: workerCount})
+		pq, err := compile(c, core.Options{Strategy: core.PAQOC, Device: dev, Mode: mode, Library: libPAQOC, Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
 		}
-		ep, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: libEPOC, Obs: rec, Workers: workerCount})
+		ep, err := compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: mode, Library: libEPOC, Obs: rec, Workers: workerCount})
 		if err != nil {
 			fmt.Printf("%s: %v\n", name, err)
 			continue
@@ -208,7 +230,7 @@ func runHitRate() {
 				continue
 			}
 			dev := hardware.LinearChain(c.NumQubits)
-			if _, err := core.Compile(c, core.Options{
+			if _, err := compile(c, core.Options{
 				Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Library: lib, Obs: rec, Workers: workerCount,
 			}); err != nil {
 				fmt.Printf("%s: %v\n", name, err)
@@ -235,7 +257,7 @@ func runScale() {
 	dev := hardware.LinearChain(160)
 	rec := newRecorder()
 	start := time.Now()
-	res, err := core.Compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Obs: rec, Workers: workerCount})
+	res, err := compile(c, core.Options{Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate, Obs: rec, Workers: workerCount})
 	if err != nil {
 		fmt.Println("scale test failed:", err)
 		return
@@ -257,7 +279,7 @@ func runAblations(full bool) {
 	tb := report.NewTable("partition & regroup qubit limit (qaoa, estimate mode)",
 		"limit", "latency (ns)", "pulses", "blocks")
 	for _, lim := range []int{2, 3} {
-		res, err := core.Compile(c, core.Options{
+		res, err := compile(c, core.Options{
 			Strategy: core.EPOC, Device: dev, Mode: core.QOCEstimate,
 			PartitionMaxQubits: lim, RegroupMaxQubits: lim,
 		})
@@ -273,7 +295,7 @@ func runAblations(full bool) {
 	tb = report.NewTable("ZX stage (vqe, estimate mode)", "zx", "depth after stage", "latency (ns)")
 	for _, useZX := range []bool{false, true} {
 		z := useZX
-		res, err := core.Compile(mustBench("vqe"), core.Options{
+		res, err := compile(mustBench("vqe"), core.Options{
 			Strategy: core.EPOC, Device: hardware.LinearChain(6), Mode: core.QOCEstimate, UseZX: &z,
 		})
 		if err != nil {
@@ -294,14 +316,14 @@ func runAblations(full bool) {
 		for _, phase := range []bool{false, true} {
 			lib := pulse.NewLibrary(phase)
 			first := phaseSpellingProgram(true)
-			if _, err := core.Compile(first, core.Options{
+			if _, err := compile(first, core.Options{
 				Strategy: core.PAQOC, Device: hardware.LinearChain(first.NumQubits), Library: lib,
 			}); err != nil {
 				fmt.Println("ablation error:", err)
 				continue
 			}
 			second := phaseSpellingProgram(false)
-			res, err := core.Compile(second, core.Options{
+			res, err := compile(second, core.Options{
 				Strategy: core.PAQOC, Device: hardware.LinearChain(second.NumQubits), Library: lib,
 			})
 			if err != nil {

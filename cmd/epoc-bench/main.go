@@ -12,6 +12,11 @@
 //	         optimizer convergence, library behaviour)
 //	-cpuprofile/-memprofile
 //	         runtime/pprof profiles of the whole run
+//	-timeout 10m
+//	         cancel the run (context) after the given wall-clock time
+//	-stage-budget total=30s,synth=2s,qoc=5s,synth-nodes=500,qoc-iters=50
+//	         per-compile budgets; a compile that overruns degrades to
+//	         its best-so-far result instead of running long
 //
 // Absolute nanoseconds differ from the paper's IBM-calibrated numbers
 // (this is a simulated device; see DESIGN.md); the comparisons and the
@@ -19,11 +24,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"epoc/internal/core"
 )
 
 func main() {
@@ -38,12 +46,25 @@ func main() {
 		mode       = flag.String("mode", "full", "full (GRAPE) | estimate — QOC mode for figs/table1")
 		stats      = flag.Bool("stats", false, "print a per-experiment observability breakdown")
 		workers    = flag.Int("workers", 1, "parallel workers for block synthesis and QOC in every experiment")
+		timeout    = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no timeout)")
+		budgets    = flag.String("stage-budget", "", "per-compile budgets, degrade instead of overrunning: total=30s,synth=2s,qoc=5s,synth-nodes=500,qoc-iters=50")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
 	flag.Parse()
 	statsMode = *stats
 	workerCount = *workers
+	b, err := core.ParseBudgets(*budgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+		os.Exit(1)
+	}
+	benchBudgets = b
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		benchCtx = ctx
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -9,9 +9,11 @@
 //	epoc -bench qaoa -stats             # per-stage time/count breakdown
 //	epoc -bench qaoa -stats -json -     # breakdown + schedule as JSON
 //	epoc -bench qaoa -cpuprofile cpu.pb # runtime/pprof CPU profile
+//	epoc -bench qaoa -timeout 30s -stage-budget synth=2s,qoc=5s
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"epoc/internal/benchcirc"
 	"epoc/internal/circuit"
@@ -42,6 +45,8 @@ func main() {
 		stats      = flag.Bool("stats", false, "record and print the per-stage observability breakdown")
 		grape      = flag.Int("grape-iters", 200, "GRAPE iteration budget")
 		workers    = flag.Int("workers", 1, "parallel workers for block synthesis and QOC (output is identical at any setting)")
+		timeout    = flag.Duration("timeout", 0, "abort the compile after this long (0 = no timeout)")
+		budgets    = flag.String("stage-budget", "", "degrade instead of overrunning: total=30s,synth=2s,qoc=5s,synth-nodes=500,qoc-iters=50")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	)
@@ -57,11 +62,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	b, err := core.ParseBudgets(*budgets)
+	if err != nil {
+		fatal(err)
+	}
 	opts := core.Options{
 		Strategy:   core.Strategy(*strategy),
 		Device:     hardware.LinearChain(c.NumQubits),
 		GRAPEIters: *grape,
 		Workers:    *workers,
+		Budgets:    b,
 	}
 	var rec *obs.Recorder
 	if *stats {
@@ -77,7 +87,13 @@ func main() {
 		fatal(fmt.Errorf("unknown -mode %q", *mode))
 	}
 
-	res, err := core.Compile(c, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelCompile context.CancelFunc
+		ctx, cancelCompile = context.WithTimeout(ctx, *timeout)
+		defer cancelCompile()
+	}
+	res, err := core.CompileContext(ctx, c, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -99,6 +115,9 @@ func main() {
 	fmt.Printf("latency:       %.1f ns\n", res.Latency)
 	fmt.Printf("fidelity:      %.5f\n", res.Fidelity)
 	fmt.Printf("compile time:  %s\n", res.CompileTime)
+	if res.Degraded {
+		fmt.Printf("degraded:      yes (%s)\n", strings.Join(res.DegradeReasons, ", "))
+	}
 	var snap *obs.Snapshot
 	if rec != nil {
 		snap = rec.Snapshot()

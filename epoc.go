@@ -23,6 +23,7 @@
 package epoc
 
 import (
+	"context"
 	"fmt"
 
 	"epoc/internal/benchcirc"
@@ -56,6 +57,12 @@ type CompileOptions = core.Options
 // Result is a compiled pulse program with latency (ns), ESP fidelity,
 // compile time, and per-stage statistics.
 type Result = core.Result
+
+// Budgets bounds a compilation: a whole-pipeline deadline plus
+// per-stage time and iteration budgets. Exceeding a budget degrades
+// the result (Result.Degraded, best-so-far output); canceling the
+// context aborts it. The zero value means unlimited.
+type Budgets = core.Budgets
 
 // Strategy selects one of the compilation flows.
 type Strategy = core.Strategy
@@ -138,6 +145,16 @@ func NewRecorder() *Recorder { return obs.New() }
 // strategy (full EPOC by default).
 func Compile(c *Circuit, opts CompileOptions) (*Result, error) {
 	return core.Compile(c, opts)
+}
+
+// CompileContext is Compile with a context. Canceling ctx aborts the
+// compilation promptly at the next checkpoint — stage boundaries,
+// synthesis node expansions, optimizer iterations — returning ctx's
+// error with no partial result and no leaked goroutines. Budget
+// expiry (CompileOptions.Budgets) is independent: it degrades rather
+// than aborts.
+func CompileContext(ctx context.Context, c *Circuit, opts CompileOptions) (*Result, error) {
+	return core.CompileContext(ctx, c, opts)
 }
 
 // DepthOptimize runs only the graph-based (ZX) depth-optimization

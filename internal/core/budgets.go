@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseBudgets parses the CLI budget grammar shared by epoc and
+// epoc-bench: a comma-separated list of key=value pairs where time
+// budgets take Go durations and iteration budgets take integers.
+//
+//	total=30s,synth=2s,qoc=5s,synth-nodes=500,qoc-iters=50
+//
+// An empty spec yields the zero (unlimited) Budgets.
+func ParseBudgets(spec string) (Budgets, error) {
+	var b Budgets
+	if strings.TrimSpace(spec) == "" {
+		return b, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return Budgets{}, fmt.Errorf("budget %q: want key=value", pair)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "total", "synth", "qoc":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Budgets{}, fmt.Errorf("budget %s: %v", key, err)
+			}
+			if d < 0 {
+				return Budgets{}, fmt.Errorf("budget %s: negative duration %s", key, d)
+			}
+			switch key {
+			case "total":
+				b.Total = d
+			case "synth":
+				b.SynthTime = d
+			case "qoc":
+				b.QOCTime = d
+			}
+		case "synth-nodes", "qoc-iters":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Budgets{}, fmt.Errorf("budget %s: want a non-negative integer, got %q", key, val)
+			}
+			if key == "synth-nodes" {
+				b.SynthNodes = n
+			} else {
+				b.QOCIters = n
+			}
+		default:
+			return Budgets{}, fmt.Errorf("unknown budget key %q (want total, synth, qoc, synth-nodes, qoc-iters)", key)
+		}
+	}
+	return b, nil
+}

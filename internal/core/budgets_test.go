@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseBudgets(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Budgets
+		wantErr bool
+	}{
+		{"", Budgets{}, false},
+		{"   ", Budgets{}, false},
+		{"total=30s", Budgets{Total: 30 * time.Second}, false},
+		{
+			"total=1m, synth=2s, qoc=500ms, synth-nodes=500, qoc-iters=50",
+			Budgets{
+				Total: time.Minute, SynthTime: 2 * time.Second,
+				QOCTime: 500 * time.Millisecond, SynthNodes: 500, QOCIters: 50,
+			},
+			false,
+		},
+		{"synth-nodes=0", Budgets{}, false}, // 0 = unlimited, still valid
+		{"total", Budgets{}, true},          // missing =
+		{"total=xyz", Budgets{}, true},      // bad duration
+		{"total=-5s", Budgets{}, true},      // negative duration
+		{"synth-nodes=-1", Budgets{}, true}, // negative count
+		{"synth-nodes=2s", Budgets{}, true}, // duration where int expected
+		{"frobnicate=1", Budgets{}, true},   // unknown key
+	}
+	for _, tc := range cases {
+		got, err := ParseBudgets(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseBudgets(%q): want error, got %+v", tc.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBudgets(%q): %v", tc.spec, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseBudgets(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}

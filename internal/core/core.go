@@ -13,11 +13,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"epoc/internal/circuit"
+	"epoc/internal/faultclock"
 	"epoc/internal/hardware"
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
@@ -54,6 +57,32 @@ const (
 	// one machine (see DESIGN.md substitutions).
 	QOCEstimate
 )
+
+// Budgets bounds how long a compilation may work. Zero values mean
+// unlimited. Time budgets are wall-clock deadlines evaluated against
+// the injected clock at loop granularity; iteration budgets are
+// deterministic per-unit caps (per-block synthesis nodes, per-run
+// optimizer iterations) that produce byte-identical results at any
+// worker count. When a budget expires the pipeline degrades instead
+// of failing: expendable stages are skipped, block synthesis falls
+// back to the original gate realization, and QOC keeps its
+// best-so-far pulse (or the calibrated estimator when nothing was
+// probed). The compile then reports Result.Degraded with per-stage
+// reasons. Cancellation via context is different: the compile aborts
+// and partial work is discarded.
+type Budgets struct {
+	Total      time.Duration // whole-pipeline deadline
+	SynthTime  time.Duration // stage-3 (block synthesis) deadline
+	QOCTime    time.Duration // stage-5 (pulse optimization) deadline
+	SynthNodes int           // per-block QSearch node-expansion cap
+	QOCIters   int           // per-run GRAPE/CRAB iteration cap
+}
+
+// Zero reports whether no budget is configured.
+func (b Budgets) Zero() bool {
+	return b.Total == 0 && b.SynthTime == 0 && b.QOCTime == 0 &&
+		b.SynthNodes == 0 && b.QOCIters == 0
+}
 
 // Options configures Compile.
 type Options struct {
@@ -121,6 +150,48 @@ type Options struct {
 	// Obs.Snapshot() after Compile returns. When nil (the default) the
 	// instrumented paths cost a single nil check and zero allocations.
 	Obs *obs.Recorder
+
+	// Budgets bounds the compile's work; see the type's documentation.
+	// The zero value means unlimited.
+	Budgets Budgets
+
+	// Clock is the time source budget deadlines are evaluated against.
+	// nil means the real clock; tests inject a faultclock.Fake so
+	// budget expiry happens at an exact loop iteration. The clock is
+	// never read unless a time budget is configured.
+	Clock faultclock.Clock
+
+	// Inject, when non-nil, arms deterministic trip points on the
+	// pipeline's cancellation/budget check sites (see
+	// faultclock.Sites). Test-only; production leaves it nil, which
+	// costs one nil check per site announcement.
+	Inject *faultclock.Injector
+
+	// ctx and totalDeadline are set by CompileContext; stage gates are
+	// derived from them (plus per-stage budgets) at stage entry.
+	ctx           context.Context
+	totalDeadline time.Time
+	// synthGate/qocGate are the per-stage gates, built at stage entry
+	// and threaded to the inner loops through this Options copy.
+	synthGate *faultclock.Gate
+	qocGate   *faultclock.Gate
+}
+
+// stageGate builds the cancellation/budget gate for one stage: the
+// compile's context and total deadline, tightened by the stage's own
+// time budget measured from stage entry.
+func (o *Options) stageGate(budget time.Duration) *faultclock.Gate {
+	deadline := o.totalDeadline
+	if budget > 0 {
+		clock := o.Clock
+		if clock == nil {
+			clock = faultclock.Real()
+		}
+		if d := clock.Now().Add(budget); deadline.IsZero() || d.Before(deadline) {
+			deadline = d
+		}
+	}
+	return &faultclock.Gate{Ctx: o.ctx, Clock: o.Clock, Deadline: deadline, Inj: o.Inject}
 }
 
 // QOCAlgorithm selects the optimal-control algorithm.
@@ -193,6 +264,9 @@ func (o *Options) withDefaults() Options {
 	if out.Synth.Obs == nil {
 		out.Synth.Obs = out.Obs
 	}
+	if out.Synth.BudgetNodes == 0 {
+		out.Synth.BudgetNodes = out.Budgets.SynthNodes
+	}
 	if out.SynthCache == nil {
 		out.SynthCache = synth.NewCache()
 	}
@@ -215,6 +289,8 @@ type Stats struct {
 	QOCRuns          int // GRAPE duration searches actually executed
 	LibraryHits      int
 	LibraryMisses    int
+	SynthDegraded    int // blocks whose synthesis stopped on a budget
+	QOCDegraded      int // pulses kept as best-so-far or estimated on a budget
 }
 
 // Result is a compiled pulse program with its metrics.
@@ -233,12 +309,42 @@ type Result struct {
 	// threshold) to the input circuit — the hook the end-to-end
 	// equivalence and determinism tests verify against.
 	Lowered *circuit.Circuit
+
+	// Degraded reports that a budget expired mid-compile and the result
+	// is a graceful fallback rather than the full pipeline's output: an
+	// expendable stage was skipped, a block kept its gate realization,
+	// or a pulse is the optimizer's best-so-far/estimate. The schedule
+	// is still a correct realization of the input circuit.
+	Degraded bool
+	// DegradeReasons lists which stages degraded, sorted: a subset of
+	// "zx", "synth", "regroup", "qoc".
+	DegradeReasons []string
 }
 
 // Compile lowers a circuit to a pulse schedule under the selected
-// strategy.
+// strategy. It is CompileContext with a background context: no
+// cancellation, budgets still honored.
 func Compile(c *circuit.Circuit, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), c, opts)
+}
+
+// CompileContext is Compile under a context. Cancellation is observed
+// at stage boundaries and inside every expensive loop (QSearch node
+// expansions, GRAPE/CRAB iterations, duration-search probes, cache
+// waits); a canceled compile returns the context's error promptly,
+// discards partial work, and leaks no goroutines. Budget expiry (see
+// Options.Budgets) instead degrades: the result is still returned,
+// with Result.Degraded and DegradeReasons set.
+func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Result, error) {
 	o := opts.withDefaults()
+	o.ctx = ctx
+	if o.Budgets.Total > 0 {
+		clock := o.Clock
+		if clock == nil {
+			clock = faultclock.Real()
+		}
+		o.totalDeadline = clock.Now().Add(o.Budgets.Total)
+	}
 	start := time.Now()
 	hits0, misses0 := o.Library.Hits, o.Library.Misses
 	sp := o.Obs.Span("compile")
@@ -254,7 +360,21 @@ func Compile(c *circuit.Circuit, opts Options) (*Result, error) {
 	}
 	sp.End()
 	if err != nil {
+		o.Obs.Add("compile/canceled", 1)
 		return nil, err
+	}
+	if res.Stats.SynthDegraded > 0 {
+		res.DegradeReasons = append(res.DegradeReasons, "synth")
+	}
+	if res.Stats.QOCDegraded > 0 {
+		res.DegradeReasons = append(res.DegradeReasons, "qoc")
+	}
+	sort.Strings(res.DegradeReasons)
+	res.Degraded = len(res.DegradeReasons) > 0
+	if res.Degraded {
+		o.Obs.Add("compile/degraded", 1)
+	} else {
+		o.Obs.Add("compile/completed", 1)
 	}
 	if o.Obs != nil {
 		o.Obs.Add("compiles", 1)

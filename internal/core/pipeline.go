@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"epoc/internal/circuit"
+	"epoc/internal/faultclock"
 	"epoc/internal/gate"
 	"epoc/internal/linalg"
 	"epoc/internal/optimize"
@@ -20,6 +21,9 @@ import (
 
 // compileGateBased lowers every gate to its calibrated pulse.
 func compileGateBased(c *circuit.Circuit, o Options) (*Result, error) {
+	if err := o.stageGate(0).Check(faultclock.SiteStageLower); err != nil && !faultclock.IsBudget(err) {
+		return nil, err
+	}
 	sp := o.Obs.Span("stage/lower")
 	defer sp.End()
 	sched := pulse.NewSchedule(c.NumQubits)
@@ -53,13 +57,24 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	res.Stats.DepthBefore = c.Depth()
 	res.Stats.GatesBefore = c.Len()
 
+	// g guards the stage boundaries: cancellation aborts the compile at
+	// every boundary; total-budget expiry skips the expendable stages
+	// (ZX, regrouping — the pipeline is correct without them) and lets
+	// the mandatory ones degrade internally.
+	g := o.stageGate(0)
+
 	work := c
 	// PAQOC is "program-aware": it cleans the gate stream first.
 	if o.Strategy == PAQOC {
 		work = optimize.Peephole(work)
 	}
 	// Stage 1: graph-based depth optimization (EPOC flows).
-	if *o.UseZX {
+	if err := g.Check(faultclock.SiteStageZX); err != nil {
+		if !faultclock.IsBudget(err) {
+			return nil, err
+		}
+		res.DegradeReasons = append(res.DegradeReasons, "zx")
+	} else if *o.UseZX {
 		sp := o.Obs.Span("stage/zx")
 		work = zxOptimize(work)
 		sp.End()
@@ -69,7 +84,12 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 
 	// Optional topology mapping: decompose wide gates, insert SWAPs.
 	// Runs after the ZX stage, whose extraction may rewire qubit pairs.
+	// Routing is a correctness stage (the device can only execute
+	// mapped circuits), so a budget never skips it.
 	if o.Route {
+		if err := g.Check(faultclock.SiteStageRoute); err != nil && !faultclock.IsBudget(err) {
+			return nil, err
+		}
 		sp := o.Obs.Span("stage/route")
 		basis := optimize.DecomposeToBasis(work)
 		topo := route.NewTopology(o.Device.NumQubits, o.Device.Edges)
@@ -81,7 +101,11 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		work = routed.Circuit
 	}
 
-	// Stage 2: greedy partition (Algorithm 1).
+	// Stage 2: greedy partition (Algorithm 1). Mandatory: later stages
+	// consume blocks.
+	if err := g.Check(faultclock.SiteStagePartition); err != nil && !faultclock.IsBudget(err) {
+		return nil, err
+	}
 	sp := o.Obs.Span("stage/partition")
 	blocks := partition.Partition(work, partition.Options{
 		MaxQubits: o.PartitionMaxQubits,
@@ -92,12 +116,23 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 
 	// Stage 3: lower blocks. EPOC flows synthesize each block into
 	// VUGs + CNOTs; AccQOC/PAQOC feed block unitaries straight to QOC.
+	// The stage always runs; budget expiry degrades per block (each
+	// falls back to its own gate realization).
 	var lowered *circuit.Circuit
 	epocFlow := o.Strategy == EPOC || o.Strategy == EPOCNoGroup
 	if epocFlow {
+		if err := g.Check(faultclock.SiteStageSynth); err != nil && !faultclock.IsBudget(err) {
+			return nil, err
+		}
+		o.synthGate = o.stageGate(o.Budgets.SynthTime)
+		o.Synth.Gate = o.synthGate
 		sp := o.Obs.Span("stage/synth")
-		lowered = synthesizeBlocks(c.NumQubits, blocks, o, &res.Stats)
+		var err error
+		lowered, err = synthesizeBlocks(c.NumQubits, blocks, o, &res.Stats)
 		sp.End()
+		if err != nil {
+			return nil, err
+		}
 		res.Stats.VUGs = lowered.CountKind(gate.U3)
 		res.Stats.CNOTsAfter = lowered.CountKind(gate.CX)
 	} else {
@@ -106,10 +141,19 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	res.Lowered = lowered
 
 	// Stage 4: regrouping (full EPOC and the coarse baselines; the
-	// no-grouping ablation pulses every op individually).
+	// no-grouping ablation pulses every op individually). Expendable:
+	// on budget expiry the fine-grained circuit is pulsed directly.
 	var pulsed *circuit.Circuit
 	switch o.Strategy {
 	case EPOC:
+		if err := g.Check(faultclock.SiteStageRegroup); err != nil {
+			if !faultclock.IsBudget(err) {
+				return nil, err
+			}
+			res.DegradeReasons = append(res.DegradeReasons, "regroup")
+			pulsed = lowered
+			break
+		}
 		sp := o.Obs.Span("stage/regroup")
 		pulsed = synth.Regroup(lowered, o.RegroupMaxQubits)
 		sp.End()
@@ -127,12 +171,25 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	// count. The AccQOC baseline instead builds its library along a
 	// minimum spanning tree of the unitary similarity graph with
 	// warm-started GRAPE, as the original AccQOC paper does.
+	//
+	// QOC is mandatory (the schedule needs a pulse per op) and degrades
+	// internally: budget-stopped optimizer runs keep their best-so-far
+	// pulse, and a budget that expires before any probe completes falls
+	// back to the calibrated estimator. Degraded pulses are never
+	// stored in the library, so a shared library is not poisoned for
+	// later compiles that run with a fresh budget.
+	if err := g.Check(faultclock.SiteStageQOC); err != nil && !faultclock.IsBudget(err) {
+		return nil, err
+	}
+	o.qocGate = o.stageGate(o.Budgets.QOCTime)
 	sp = o.Obs.Span("stage/qoc")
 	if o.Mode == QOCFull {
 		if o.Strategy == AccQOC {
-			mstPrefill(pulsed, o, &res.Stats)
-		} else {
-			prefillLibrary(pulsed, o, &res.Stats)
+			if err := mstPrefill(pulsed, o, &res.Stats); err != nil {
+				return nil, err
+			}
+		} else if err := prefillLibrary(pulsed, o, &res.Stats); err != nil {
+			return nil, err
 		}
 	}
 	sched := pulse.NewSchedule(c.NumQubits)
@@ -143,10 +200,12 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		if !hit {
 			var err error
 			p, err = pulseFor(u, op, o, &res.Stats)
-			if err != nil {
+			if err != nil && !faultclock.IsBudget(err) {
 				return nil, err
 			}
-			o.Library.Store(u, p)
+			if err == nil {
+				o.Library.Store(u, p)
+			}
 		}
 		placed := &pulse.Pulse{
 			Label:    p.Label,
@@ -183,7 +242,12 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 // Blocks whose synthesis misses the accuracy threshold fall back to
 // their own U3/CX realization (never a cached one, which would make
 // the output depend on which duplicate computed first).
-func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) *circuit.Circuit {
+//
+// Cancellation returns the context's error after every worker has
+// drained (the pool always joins — no leaked goroutines); budget
+// expiry instead degrades block by block to the fallback realization
+// and counts Stats.SynthDegraded.
+func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) (*circuit.Circuit, error) {
 	type class struct {
 		u   *linalg.Matrix
 		dup int // eligible blocks beyond the representative
@@ -219,15 +283,16 @@ func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) *ci
 		circ   *circuit.Circuit
 		ok     bool
 		status synth.CacheStatus
+		err    error
 	}
 	results := make([]outcome, len(classes))
 	run := func(ci int) {
 		bsp := o.Obs.Span("stage/synth/block")
-		circ, ok, status := o.SynthCache.GetOrCompute(classes[ci].u, func() (*circuit.Circuit, bool) {
+		circ, ok, status, err := o.SynthCache.GetOrCompute(o.synthGate, classes[ci].u, func() (*circuit.Circuit, bool, error) {
 			return synth.SynthesizeOutcome(classes[ci].u, o.Synth)
 		})
 		bsp.End()
-		results[ci] = outcome{circ: circ, ok: ok, status: status}
+		results[ci] = outcome{circ: circ, ok: ok, status: status, err: err}
 	}
 	workers := o.Workers
 	if workers > len(classes) {
@@ -254,6 +319,15 @@ func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) *ci
 		}
 		close(work)
 		wg.Wait()
+	}
+
+	// Cancellation wins over everything: the pool has fully drained by
+	// here, so returning the context's error leaks nothing, and the
+	// partial per-class results are simply discarded.
+	for ci := range classes {
+		if err := results[ci].err; err != nil && !faultclock.IsBudget(err) {
+			return nil, err
+		}
 	}
 
 	// Cache accounting: in-compile duplicates are hits by construction;
@@ -289,6 +363,10 @@ func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) *ci
 				local = decomposeFallback(b.Local)
 				st.SynthFallback++
 				o.Obs.Add("synth/fallbacks", 1)
+				if faultclock.IsBudget(out.err) {
+					st.SynthDegraded++
+					o.Obs.Add("synth/degraded", 1)
+				}
 			}
 		}
 		for _, op := range local.Ops {
@@ -299,14 +377,21 @@ func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) *ci
 			lowered.Append(op.G, qs...)
 		}
 	}
-	return lowered
+	return lowered, nil
 }
 
 // prefillLibrary optimizes every distinct uncached block unitary with
 // a pool of worker goroutines, then stores the results, so the main
 // scheduling loop only hits the library. Stats.QOCRuns is accumulated
 // afterwards to stay race-free.
-func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) {
+//
+// Only clean results are stored: budget-degraded pulses are left for
+// the sequential scheduling loop, which recomputes them (cheaply —
+// the expired budget trips the optimizer immediately), counts the
+// degradation once, and keeps them out of the shared library. A
+// cancellation is returned after the pool drains; scheduling never
+// starts.
+func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) error {
 	type job struct {
 		u  *linalg.Matrix
 		op circuit.Op
@@ -327,7 +412,7 @@ func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) {
 		o.Obs.Add("library/prefill/deduped", int64(pulsed.Len()-len(jobs)))
 	}
 	if len(jobs) == 0 {
-		return
+		return nil
 	}
 	type done struct {
 		idx int
@@ -359,21 +444,31 @@ func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) {
 		}
 		close(work)
 	}()
+	var canceled error
 	for range jobs {
 		d := <-results
 		if d.err != nil {
-			continue // the sequential loop will retry and surface the error
+			// Budget-degraded pulses stay out of the library (the
+			// scheduling loop recomputes and accounts them); a
+			// cancellation is remembered and returned once every worker
+			// has drained, so nothing leaks.
+			if !faultclock.IsBudget(d.err) {
+				canceled = d.err
+			}
+			continue
 		}
 		o.Library.Store(jobs[d.idx].u, d.p)
 		st.QOCRuns += d.st.QOCRuns
 	}
+	return canceled
 }
 
 // mstPrefill builds the pulse library in AccQOC's order: group the
 // distinct uncached unitaries by size, span each group's similarity
 // graph with an MST, and optimize along the tree with GRAPE warm
-// starts from each vertex's parent pulse.
-func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) {
+// starts from each vertex's parent pulse. Like prefillLibrary it
+// stores only clean results and returns cancellation.
+func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) error {
 	type job struct {
 		u  *linalg.Matrix
 		op circuit.Op
@@ -409,12 +504,16 @@ func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) {
 			}
 			p, err := pulseForWarm(jobs[idx].u, jobs[idx].op, o, st, warm)
 			if err != nil {
-				continue // the sequential loop will retry and surface it
+				if !faultclock.IsBudget(err) {
+					return err
+				}
+				continue // degraded: the scheduling loop recomputes it
 			}
 			pulses[idx] = p
 			o.Library.Store(jobs[idx].u, p)
 		}
 	}
+	return nil
 }
 
 // pulseFor produces a pulse for one block unitary, via GRAPE or the
@@ -424,10 +523,19 @@ func pulseFor(u *linalg.Matrix, op circuit.Op, o Options, st *Stats) (*pulse.Pul
 }
 
 // pulseForWarm is pulseFor with an optional GRAPE warm start.
+//
+// Error contract: a nil error is a clean pulse; faultclock.ErrBudget
+// accompanies a usable degraded pulse (the optimizer's best-so-far,
+// or the calibrated estimate when the budget expired before any probe
+// completed) and increments Stats.QOCDegraded; any other error is a
+// cancellation and the pulse is nil.
 func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm [][]float64) (*pulse.Pulse, error) {
 	k := len(op.Qubits)
 	label := fmt.Sprintf("%s[%dq]", op.G.Kind, k)
 	if o.Mode == QOCEstimate {
+		if err := o.qocGate.Err(); err != nil {
+			return nil, err
+		}
 		dur, fid := estimatePulse(op, o)
 		return &pulse.Pulse{Label: label, Duration: dur, Fidelity: fid}, nil
 	}
@@ -447,23 +555,40 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 	var r qoc.Result
 	if o.Algorithm == AlgCRAB {
 		r = qoc.DurationSearchCRAB(model, u, 2, maxSlots, step, qoc.CRABConfig{
-			Target: o.FidelityTarget,
-			Seed:   o.Seed,
-			Obs:    o.Obs,
+			Target:      o.FidelityTarget,
+			Seed:        o.Seed,
+			Obs:         o.Obs,
+			Gate:        o.qocGate,
+			BudgetIters: o.Budgets.QOCIters,
 		})
 	} else {
 		cfg := qoc.GRAPEConfig{
-			MaxIter: o.GRAPEIters,
-			Target:  o.FidelityTarget,
-			Seed:    o.Seed,
-			Obs:     o.Obs,
+			MaxIter:     o.GRAPEIters,
+			Target:      o.FidelityTarget,
+			Seed:        o.Seed,
+			Obs:         o.Obs,
+			Gate:        o.qocGate,
+			BudgetIters: o.Budgets.QOCIters,
 		}
 		if warm == nil {
 			r = qoc.DurationSearch(model, u, 2, maxSlots, step, cfg)
 		} else {
-			r = qoc.SearchDuration(2, maxSlots, step, cfg.Target, qoc.ObserveProbes(o.Obs, func(slots int) qoc.Result {
+			r = qoc.SearchDuration(cfg.Gate, 2, maxSlots, step, cfg.Target, qoc.ObserveProbes(o.Obs, func(slots int) qoc.Result {
 				return qoc.WarmStartGRAPE(model, u, slots, warm, cfg)
 			}))
+		}
+	}
+	if r.Err != nil {
+		if !faultclock.IsBudget(r.Err) {
+			return nil, r.Err
+		}
+		st.QOCDegraded++
+		o.Obs.Add("qoc/degraded", 1)
+		if r.Slots <= 0 || r.Amps == nil {
+			// The budget expired before any probe completed: fall back
+			// to the calibrated estimator rather than an empty pulse.
+			dur, fid := estimatePulse(op, o)
+			return &pulse.Pulse{Label: label, Duration: dur, Fidelity: fid}, faultclock.ErrBudget
 		}
 	}
 	return &pulse.Pulse{
@@ -472,7 +597,7 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 		Fidelity: r.Fidelity,
 		Slots:    r.Slots,
 		Amps:     r.Amps,
-	}, nil
+	}, r.Err
 }
 
 // estimatePulse predicts a pulse's duration and fidelity from gate

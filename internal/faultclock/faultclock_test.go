@@ -1,0 +1,163 @@
+package faultclock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGateAndInjectorAreInert(t *testing.T) {
+	var g *Gate
+	for _, site := range Sites() {
+		if err := g.Check(site); err != nil {
+			t.Fatalf("nil gate Check(%s) = %v", site, err)
+		}
+	}
+	if g.Done() != nil {
+		t.Fatal("nil gate Done() should be nil")
+	}
+	if g.Err() != nil {
+		t.Fatal("nil gate Err() should be nil")
+	}
+	var inj *Injector
+	inj.Hit(SiteGRAPEIter) // must not panic
+	if inj.Hits(SiteGRAPEIter) != 0 {
+		t.Fatal("nil injector counted a hit")
+	}
+}
+
+func TestZeroGatePasses(t *testing.T) {
+	g := &Gate{}
+	if err := g.Check(SiteQSearchExpand); err != nil {
+		t.Fatalf("zero gate Check = %v", err)
+	}
+}
+
+func TestGateReportsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &Gate{Ctx: ctx}
+	if err := g.Check(SiteStageSynth); err != nil {
+		t.Fatalf("uncanceled Check = %v", err)
+	}
+	cancel()
+	if err := g.Check(SiteStageSynth); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Check = %v, want context.Canceled", err)
+	}
+	if err := g.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestGateDeadlineUsesInjectedClock(t *testing.T) {
+	fake := NewFake()
+	g := &Gate{Clock: fake, Deadline: fake.Now().Add(time.Second)}
+	if err := g.Check(SiteGRAPEIter); err != nil {
+		t.Fatalf("Check before deadline = %v", err)
+	}
+	fake.Advance(2 * time.Second)
+	err := g.Check(SiteGRAPEIter)
+	if !IsBudget(err) {
+		t.Fatalf("Check after deadline = %v, want ErrBudget", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("budget expiry must not look like cancellation")
+	}
+}
+
+func TestCancellationWinsOverBudget(t *testing.T) {
+	// When both the context is canceled and the deadline has passed,
+	// Check reports the cancellation: the caller must discard partial
+	// work, not keep a degraded result.
+	fake := NewFake()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := &Gate{Ctx: ctx, Clock: fake, Deadline: fake.Now().Add(-time.Second)}
+	if err := g.Check(SiteStageQOC); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check = %v, want context.Canceled", err)
+	}
+}
+
+func TestTripFiresExactlyAtN(t *testing.T) {
+	inj := NewInjector()
+	fired := 0
+	inj.TripAfter(SiteQSearchExpand, 3, func() { fired++ })
+	for i := 1; i <= 5; i++ {
+		inj.Hit(SiteQSearchExpand)
+		want := 0
+		if i >= 3 {
+			want = 1
+		}
+		if fired != want {
+			t.Fatalf("after %d hits fired=%d, want %d", i, fired, want)
+		}
+	}
+	if inj.Hits(SiteQSearchExpand) != 5 {
+		t.Fatalf("Hits = %d, want 5", inj.Hits(SiteQSearchExpand))
+	}
+}
+
+func TestTripActionObservedBySameCheck(t *testing.T) {
+	// The canonical test pattern: arm a cancel on the nth loop
+	// iteration, and the gate check of that very iteration sees it.
+	ctx, cancel := context.WithCancel(context.Background())
+	inj := NewInjector()
+	inj.TripAfter(SiteGRAPEIter, 2, cancel)
+	g := &Gate{Ctx: ctx, Inj: inj}
+	if err := g.Check(SiteGRAPEIter); err != nil {
+		t.Fatalf("iteration 1 should pass, got %v", err)
+	}
+	if err := g.Check(SiteGRAPEIter); !errors.Is(err, context.Canceled) {
+		t.Fatalf("iteration 2 = %v, want context.Canceled", err)
+	}
+}
+
+func TestFakeClockTripExpiresBudgetAtIterationK(t *testing.T) {
+	fake := NewFake()
+	inj := NewInjector()
+	inj.TripAfter(SiteGRAPEIter, 4, func() { fake.Advance(time.Hour) })
+	g := &Gate{Clock: fake, Deadline: fake.Now().Add(time.Minute), Inj: inj}
+	for i := 1; i <= 3; i++ {
+		if err := g.Check(SiteGRAPEIter); err != nil {
+			t.Fatalf("iteration %d = %v", i, err)
+		}
+	}
+	if err := g.Check(SiteGRAPEIter); !IsBudget(err) {
+		t.Fatalf("iteration 4 = %v, want ErrBudget", err)
+	}
+}
+
+func TestInjectorConcurrentHits(t *testing.T) {
+	inj := NewInjector()
+	var once sync.Once
+	fired := make(chan struct{})
+	inj.TripAfter(SiteCacheWait, 50, func() { once.Do(func() { close(fired) }) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				inj.Hit(SiteCacheWait)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-fired:
+	default:
+		t.Fatal("trip at 50 never fired across 200 hits")
+	}
+	if got := inj.Hits(SiteCacheWait); got != 200 {
+		t.Fatalf("Hits = %d, want 200", got)
+	}
+}
+
+func TestRealClockAdvances(t *testing.T) {
+	a := Real().Now()
+	b := Real().Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}

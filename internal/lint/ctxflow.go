@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces PR 4's cancellation contract: a context accepted by
+// a function must actually flow into the work it guards. Two shapes of
+// discarded context are findings:
+//
+//   - a context.Context parameter the body never reads (including one
+//     named _): the caller believes cancellation reaches this call,
+//     but it silently cannot;
+//   - a call that passes context.Background() or context.TODO() to an
+//     in-module function while a context parameter is in scope: the
+//     caller's cancellation is cut off mid-pipeline.
+//
+// Minting a fresh context where none is in scope (main, tests, root
+// entry points) is legitimate and not flagged.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context parameters that are accepted but not threaded onward",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Type.Params == nil {
+				continue
+			}
+			hasCtx := false
+			for _, field := range fn.Type.Params.List {
+				tv, ok := p.Info.Types[field.Type]
+				if !ok || !isContextType(tv.Type) {
+					continue
+				}
+				hasCtx = true
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						p.Reportf(name.Pos(), "context parameter is blank; name it and thread it onward, or drop the parameter")
+						continue
+					}
+					obj := p.Info.Defs[name]
+					if obj != nil && !objUsed(p, fn.Body, obj) {
+						p.Reportf(name.Pos(), "context parameter %s is unused; thread it into the function's calls or drop it", name.Name)
+					}
+				}
+			}
+			if hasCtx {
+				flagFreshContexts(p, fn.Body)
+			}
+		}
+	}
+}
+
+// objUsed reports whether body contains at least one use of obj.
+func objUsed(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// flagFreshContexts reports in-module calls inside body that are
+// handed a freshly minted context.Background()/context.TODO() even
+// though the enclosing function has a context parameter in scope.
+func flagFreshContexts(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil || !p.Module.InModule(fn.Pkg().Path()) {
+			return true
+		}
+		for _, arg := range call.Args {
+			inner, ok := arg.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			mint := calleeFunc(p, inner)
+			if mint == nil || mint.Pkg() == nil || mint.Pkg().Path() != "context" {
+				continue
+			}
+			if mint.Name() == "Background" || mint.Name() == "TODO" {
+				p.Reportf(arg.Pos(), "call to %s discards the in-scope context; pass it instead of context.%s()", fn.FullName(), mint.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

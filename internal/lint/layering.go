@@ -32,12 +32,15 @@ var Layering = &Analyzer{
 // self-check test fails if code drifts from this table.
 var layeringDAG = map[string][]string{
 	// Leaves: depend on nothing in-module. obs must stay dependency-free
-	// (PR 1), linalg and opt are the numerical foundation.
-	"internal/gate":   {"internal/linalg"},
-	"internal/linalg": {},
-	"internal/lint":   {},
-	"internal/obs":    {},
-	"internal/opt":    {},
+	// (PR 1), linalg and opt are the numerical foundation, and
+	// faultclock is the cancellation/budget gate threaded through the
+	// pipeline's loops (PR 4) — a leaf so every layer can carry it.
+	"internal/faultclock": {},
+	"internal/gate":       {"internal/linalg"},
+	"internal/linalg":     {},
+	"internal/lint":       {},
+	"internal/obs":        {},
+	"internal/opt":        {},
 
 	// Circuit IR and its direct consumers.
 	"internal/benchcirc": {"internal/circuit", "internal/gate"},
@@ -53,16 +56,17 @@ var layeringDAG = map[string][]string{
 	// Pulse/QOC layer.
 	"internal/hardware": {"internal/gate", "internal/qoc"},
 	"internal/pulse":    {"internal/linalg"},
-	"internal/qoc":      {"internal/gate", "internal/linalg", "internal/obs", "internal/opt"},
+	"internal/qoc":      {"internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt"},
 	"internal/report":   {"internal/obs"},
-	"internal/synth":    {"internal/circuit", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize"},
+	"internal/synth":    {"internal/circuit", "internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize"},
 
 	// The pipeline orchestrator sits on top of everything.
 	"internal/core": {
-		"internal/circuit", "internal/gate", "internal/hardware",
-		"internal/linalg", "internal/obs", "internal/optimize",
-		"internal/partition", "internal/pulse", "internal/qoc",
-		"internal/route", "internal/sim", "internal/synth", "internal/zx",
+		"internal/circuit", "internal/faultclock", "internal/gate",
+		"internal/hardware", "internal/linalg", "internal/obs",
+		"internal/optimize", "internal/partition", "internal/pulse",
+		"internal/qoc", "internal/route", "internal/sim",
+		"internal/synth", "internal/zx",
 	},
 }
 

@@ -14,7 +14,11 @@
 //     silently dropped (errcheck);
 //   - structs carrying sync.Mutex/sync.Once/obs state are never
 //     copied by value, including via returns, receivers and range
-//     clauses that go vet's copylocks pass does not flag (copylockplus).
+//     clauses that go vet's copylocks pass does not flag (copylockplus);
+//   - a context.Context accepted by a function actually flows into the
+//     work it guards — no unused ctx parameters, no in-module calls
+//     handed a fresh context.Background() while the caller's context
+//     is in scope (ctxflow).
 //
 // Findings may be suppressed, one site at a time and with a mandatory
 // reason, by a comment on the offending line or the line above:
@@ -85,7 +89,7 @@ func (f Finding) String() string {
 
 // All returns the full epoc-lint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus}
+	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow}
 }
 
 // ByName resolves a comma-separated analyzer list ("floatcmp,layering")

@@ -1,0 +1,51 @@
+// Package demo exercises the ctxflow analyzer: contexts must flow
+// into the work they guard, not stop at a signature.
+package demo
+
+import "context"
+
+// Step is the in-module context-taking callee.
+func Step(ctx context.Context) error { return ctx.Err() }
+
+// Forward threads its context on: clean.
+func Forward(ctx context.Context) error { return Step(ctx) }
+
+// Root has no context in scope, so minting one is legitimate.
+func Root() error { return Step(context.Background()) }
+
+func Dropped(ctx context.Context) error { // want "ctxflow: context parameter ctx is unused"
+	return nil
+}
+
+func Blank(_ context.Context) error { // want "ctxflow: context parameter is blank"
+	return nil
+}
+
+func Fresh(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Step(context.Background()) // want "ctxflow: call to .*Step discards the in-scope context"
+}
+
+func Todo(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return Step(context.TODO()) // want "ctxflow: call to .*Step discards the in-scope context"
+}
+
+// Closure: a context in scope covers function literals too.
+func InClosure(ctx context.Context) func() error {
+	_ = ctx.Err()
+	return func() error {
+		return Step(context.Background()) // want "ctxflow: call to .*Step discards the in-scope context"
+	}
+}
+
+// Suppressions carry a reason, as everywhere in epoc-lint.
+func Reasoned(ctx context.Context) error {
+	_ = ctx.Err()
+	//epoc:lint-ignore ctxflow fixture: detached background work must outlive the request
+	return Step(context.Background())
+}

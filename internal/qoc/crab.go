@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"epoc/internal/faultclock"
 	"epoc/internal/linalg"
 	"epoc/internal/obs"
 	"epoc/internal/opt"
@@ -20,6 +21,19 @@ type CRABConfig struct {
 	Target    float64 // stop once fidelity reaches this (default 0.999)
 	Seed      int64   // randomized-frequency seed (default 1)
 	Restarts  int     // random restarts (default 2)
+
+	// Gate, when non-nil, is checked once per restart
+	// (faultclock.SiteCRABRestart). CRAB's inner Nelder-Mead loop is
+	// derivative-free and cheap per step, so restart granularity keeps
+	// the check off the hot path; Result.Err classifies early exits
+	// the same way GRAPE's does.
+	Gate *faultclock.Gate
+
+	// BudgetIters, when > 0 and below MaxIter, caps the Nelder-Mead
+	// iterations of every restart; a run that then misses the target
+	// returns Result.Err = faultclock.ErrBudget with its best-so-far
+	// coefficients.
+	BudgetIters int
 
 	// Obs, when non-nil, records per-run convergence metrics under
 	// "qoc/crab/*" (runs, restarts used, iteration and final-fidelity
@@ -60,9 +74,19 @@ func CRAB(m *Model, target *linalg.Matrix, slots int, cfg CRABConfig) Result {
 	nc := len(m.Controls)
 	T := float64(slots) * m.Dt
 
+	maxIter := cfg.MaxIter
+	budgeted := cfg.BudgetIters > 0 && cfg.BudgetIters < maxIter
+	if budgeted {
+		maxIter = cfg.BudgetIters
+	}
 	bestRes := Result{Fidelity: -1, Slots: slots, Duration: T}
 	restartsUsed := 0
+	var stop error
 	for restart := 0; restart < cfg.Restarts; restart++ {
+		if err := cfg.Gate.Check(faultclock.SiteCRABRestart); err != nil {
+			stop = err
+			break
+		}
 		restartsUsed++
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(restart)*7919))
 		// Randomized frequencies around the principal harmonics.
@@ -115,7 +139,7 @@ func CRAB(m *Model, target *linalg.Matrix, slots int, cfg CRABConfig) Result {
 			}
 		}
 		res := opt.NelderMead(objective, x0, opt.NelderMeadConfig{
-			MaxIter: cfg.MaxIter,
+			MaxIter: maxIter,
 			Tol:     1e-12,
 			Step:    0.05,
 		})
@@ -129,10 +153,19 @@ func CRAB(m *Model, target *linalg.Matrix, slots int, cfg CRABConfig) Result {
 			break
 		}
 	}
+	if stop == nil && budgeted && bestRes.Fidelity < cfg.Target {
+		stop = faultclock.ErrBudget
+	}
+	bestRes.Err = stop
 	if r := cfg.Obs; r != nil {
 		reason := "max_iter"
-		if bestRes.Fidelity >= cfg.Target {
+		switch {
+		case bestRes.Fidelity >= cfg.Target:
 			reason = "target"
+		case faultclock.IsBudget(stop):
+			reason = "budget"
+		case stop != nil:
+			reason = "canceled"
 		}
 		r.Add("qoc/crab/runs", 1)
 		r.Add("qoc/crab/stop/"+reason, 1)

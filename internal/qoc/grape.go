@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"epoc/internal/faultclock"
 	"epoc/internal/linalg"
 	"epoc/internal/obs"
 )
@@ -15,6 +16,21 @@ type GRAPEConfig struct {
 	Target    float64 // stop once fidelity reaches this (default 0.999)
 	LearnRate float64 // Adam step size in amplitude units (default: MaxAmp/8)
 	Seed      int64   // initial-guess RNG seed (default 1)
+
+	// Gate, when non-nil, is checked once per iteration
+	// (faultclock.SiteGRAPEIter): on cancellation the run stops and
+	// Result.Err carries the context error; on deadline expiry it
+	// stops with Result.Err = faultclock.ErrBudget. Either way the
+	// returned Result is the best found so far.
+	Gate *faultclock.Gate
+
+	// BudgetIters, when > 0, is an externally imposed iteration budget
+	// below MaxIter: the run stops after that many iterations with
+	// Result.Err = faultclock.ErrBudget unless the target was reached
+	// first. Unlike MaxIter (a tuning default), hitting BudgetIters
+	// marks the result degraded. Being a plain per-run count, it is
+	// deterministic at any worker count.
+	BudgetIters int
 
 	// Obs, when non-nil, records per-run convergence metrics: the
 	// iteration count and final fidelity distributions, the early-stop
@@ -35,13 +51,22 @@ func (c *GRAPEConfig) defaults() {
 	}
 }
 
-// Result is an optimized pulse schedule.
+// Result is an optimized pulse schedule. A Result is always the best
+// the optimizer found before it stopped — Err classifies why it
+// stopped, so early exits still carry usable partial work.
 type Result struct {
 	Amps       [][]float64 // [slot][control], rad/ns
 	Fidelity   float64     // |tr(U†·target)|/dim achieved
 	Iterations int
 	Slots      int
 	Duration   float64 // ns
+
+	// Err is nil when the run completed (target reached or MaxIter),
+	// faultclock.ErrBudget when a time/iteration budget stopped it
+	// early (the Result is the best-so-far and the caller should mark
+	// the pipeline degraded), or a context error when it was canceled
+	// (the caller should discard the Result and propagate).
+	Err error
 }
 
 // Fidelity returns the phase-invariant gate fidelity |tr(A†B)|/dim.
@@ -100,6 +125,7 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 	best := Result{Fidelity: -1}
 	fid := 0.0
 	iter := 0
+	var stop error
 	for ; iter < cfg.MaxIter; iter++ {
 		// Forward propagation.
 		for k := 0; k < slots; k++ {
@@ -124,6 +150,17 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 			best.Iterations = iter
 		}
 		if fid >= cfg.Target {
+			break
+		}
+		// Budget/cancellation checks sit after the forward propagation
+		// so even a first-iteration stop returns a Result whose
+		// fidelity was actually evaluated, never uninitialized amps.
+		if err := cfg.Gate.Check(faultclock.SiteGRAPEIter); err != nil {
+			stop = err
+			break
+		}
+		if cfg.BudgetIters > 0 && iter+1 >= cfg.BudgetIters {
+			stop = faultclock.ErrBudget
 			break
 		}
 
@@ -166,10 +203,16 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 		best.Amps = cloneAmps(amps)
 	}
 	best.Iterations = iter
+	best.Err = stop
 	if r := cfg.Obs; r != nil {
 		reason := "max_iter"
-		if fid >= cfg.Target {
+		switch {
+		case fid >= cfg.Target:
 			reason = "target"
+		case faultclock.IsBudget(stop):
+			reason = "budget"
+		case stop != nil:
+			reason = "canceled"
 		}
 		r.Add("qoc/grape/runs", 1)
 		r.Add("qoc/grape/stop/"+reason, 1)
@@ -233,7 +276,17 @@ func ObserveProbes(r *obs.Recorder, run Runner) Runner {
 // quantized slot grid (the AccQOC strategy). It returns the best pulse
 // found; if even maxSlots cannot reach the target, the maxSlots result
 // is returned with its achieved fidelity.
-func SearchDuration(minSlots, maxSlots, step int, target float64, run Runner) Result {
+//
+// The gate g (nil for unbudgeted searches) is checked before every
+// probe (faultclock.SiteDurationProbe), and a probe that itself
+// stopped early (Result.Err non-nil) stops the search. In both
+// early-exit cases the search returns its best-so-far: the best
+// Result across the probes that ran — target-reaching probes beat
+// higher raw fidelity, and shorter target-reaching pulses beat longer
+// ones — with Err set to the cause. A budget exit therefore still
+// yields a usable (if longer-than-optimal) pulse; a cancellation exit
+// tells the caller to discard it.
+func SearchDuration(g *faultclock.Gate, minSlots, maxSlots, step int, target float64, run Runner) Result {
 	if minSlots < 1 {
 		minSlots = 1
 	}
@@ -247,35 +300,76 @@ func SearchDuration(minSlots, maxSlots, step int, target float64, run Runner) Re
 	}
 	grid = append(grid, maxSlots)
 
+	best := Result{Fidelity: -1}
+	haveBest := false
+	// improves reports whether b beats the incumbent a.
+	improves := func(a, b Result) bool {
+		aHit, bHit := a.Fidelity >= target, b.Fidelity >= target
+		if aHit != bHit {
+			return bHit
+		}
+		if aHit && bHit {
+			return b.Slots < a.Slots
+		}
+		return b.Fidelity > a.Fidelity
+	}
 	cache := map[int]Result{}
-	memo := func(slots int) Result {
+	memo := func(slots int) (Result, error) {
 		if r, ok := cache[slots]; ok {
-			return r
+			return r, nil
+		}
+		if err := g.Check(faultclock.SiteDurationProbe); err != nil {
+			return Result{}, err
 		}
 		r := run(slots)
 		cache[slots] = r
-		return r
+		// Canceled probes are discarded; budget-degraded probes still
+		// carry a best-so-far pulse and may stand as the search result.
+		if r.Err == nil || faultclock.IsBudget(r.Err) {
+			if !haveBest || improves(best, r) {
+				best = r
+				haveBest = true
+			}
+		}
+		return r, r.Err
+	}
+	partial := func(err error) Result {
+		out := best
+		out.Err = err
+		return out
 	}
 
 	lo, hi := 0, len(grid)-1
-	if r := memo(grid[hi]); r.Fidelity < target {
+	r, err := memo(grid[hi])
+	if err != nil {
+		return partial(err)
+	}
+	if r.Fidelity < target {
 		return r // even the longest pulse fails; report it
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if memo(grid[mid]).Fidelity >= target {
+		rm, err := memo(grid[mid])
+		if err != nil {
+			return partial(err)
+		}
+		if rm.Fidelity >= target {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	return memo(grid[lo])
+	r, err = memo(grid[lo])
+	if err != nil {
+		return partial(err)
+	}
+	return r
 }
 
 // DurationSearch is SearchDuration specialized to GRAPE.
 func DurationSearch(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg GRAPEConfig) Result {
 	cfg.defaults()
-	return SearchDuration(minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
+	return SearchDuration(cfg.Gate, minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
 		return GRAPE(m, target, slots, cfg)
 	}))
 }
@@ -283,7 +377,7 @@ func DurationSearch(m *Model, target *linalg.Matrix, minSlots, maxSlots int, ste
 // DurationSearchCRAB is SearchDuration specialized to CRAB.
 func DurationSearchCRAB(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg CRABConfig) Result {
 	cfg.defaults()
-	return SearchDuration(minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
+	return SearchDuration(cfg.Gate, minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
 		return CRAB(m, target, slots, cfg)
 	}))
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"epoc/internal/circuit"
+	"epoc/internal/faultclock"
 	"epoc/internal/linalg"
 )
 
@@ -71,36 +72,91 @@ func NewCache() *Cache {
 // reached the accuracy threshold, false when the caller should fall
 // back to the block's original realization. compute must not call
 // back into the same Cache.
-func (c *Cache) GetOrCompute(u *linalg.Matrix, compute func() (*circuit.Circuit, bool)) (*circuit.Circuit, bool, CacheStatus) {
+//
+// A compute that returns a non-nil error (cancellation or budget
+// exhaustion) never lands in the cache: its entry is removed before
+// waiters are released, so a canceled or budget-starved fill cannot
+// poison later compiles that run with a fresh budget. Coalesced
+// callers that were waiting on such a fill retry the lookup — under
+// their own gate — and either find a fresh fill or run compute
+// themselves. The gate also makes the wait cancellable: a waiter
+// whose context is canceled returns promptly with the context's
+// error instead of blocking on someone else's synthesis.
+func (c *Cache) GetOrCompute(g *faultclock.Gate, u *linalg.Matrix, compute func() (*circuit.Circuit, bool, error)) (*circuit.Circuit, bool, CacheStatus, error) {
 	if c == nil {
-		circ, ok := compute()
-		return circ, ok, CacheMiss
+		circ, ok, err := compute()
+		return circ, ok, CacheMiss, err
 	}
 	key := linalg.Fingerprint(u)
-	c.mu.Lock()
-	for _, e := range c.entries[key] {
-		if e.u.Rows != u.Rows || linalg.PhaseDistance(e.u, u) >= CacheTol {
-			continue
+	waited := false
+	for {
+		c.mu.Lock()
+		var inflight *cacheEntry
+		for _, e := range c.entries[key] {
+			if e.u.Rows != u.Rows || linalg.PhaseDistance(e.u, u) >= CacheTol {
+				continue
+			}
+			select {
+			case <-e.done: // completed entry
+				status := CacheHit
+				if waited {
+					status = CacheCoalesced
+				} else {
+					c.hits++
+				}
+				c.mu.Unlock()
+				return e.circ, e.ok, status, nil
+			default: // in flight: wait outside the lock
+				inflight = e
+			}
+			break
+		}
+		if inflight == nil {
+			e := &cacheEntry{u: u.Clone(), done: make(chan struct{})}
+			c.entries[key] = append(c.entries[key], e)
+			c.misses++
+			c.mu.Unlock()
+			circ, ok, err := compute()
+			if err != nil {
+				c.remove(key, e)
+				close(e.done)
+				return circ, ok, CacheMiss, err
+			}
+			e.circ, e.ok = circ, ok
+			close(e.done)
+			return circ, ok, CacheMiss, nil
+		}
+		if !waited {
+			c.coalesced++
+			waited = true
+		}
+		c.mu.Unlock()
+		if err := g.Check(faultclock.SiteCacheWait); err != nil {
+			return nil, false, CacheCoalesced, err
 		}
 		select {
-		case <-e.done: // completed entry
-			c.hits++
-			c.mu.Unlock()
-			return e.circ, e.ok, CacheHit
-		default: // in flight: wait outside the lock
-			c.coalesced++
-			c.mu.Unlock()
-			<-e.done
-			return e.circ, e.ok, CacheCoalesced
+		case <-inflight.done:
+			// Loop: a successful fill is found as a completed entry on
+			// the retry; a failed one was removed, so the retry either
+			// finds a newer fill or becomes the computer.
+		case <-g.Done():
+			return nil, false, CacheCoalesced, g.Err()
 		}
 	}
-	e := &cacheEntry{u: u.Clone(), done: make(chan struct{})}
-	c.entries[key] = append(c.entries[key], e)
-	c.misses++
-	c.mu.Unlock()
-	e.circ, e.ok = compute()
-	close(e.done)
-	return e.circ, e.ok, CacheMiss
+}
+
+// remove deletes a failed in-flight entry so it is never observed as
+// a completed fill. Called before the entry's done channel closes.
+func (c *Cache) remove(key string, target *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	es := c.entries[key]
+	for i, e := range es {
+		if e == target {
+			c.entries[key] = append(es[:i:i], es[i+1:]...)
+			return
+		}
+	}
 }
 
 // Len returns the number of distinct unitary classes stored.

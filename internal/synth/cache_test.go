@@ -23,15 +23,15 @@ func TestCacheHitMissCounting(t *testing.T) {
 	c := NewCache()
 	u := gate.New(gate.CX).Matrix()
 	calls := 0
-	compute := func() (*circuit.Circuit, bool) {
+	compute := func() (*circuit.Circuit, bool, error) {
 		calls++
-		return cxCircuit(), true
+		return cxCircuit(), true, nil
 	}
-	circ1, ok, st := c.GetOrCompute(u, compute)
+	circ1, ok, st, _ := c.GetOrCompute(nil, u, compute)
 	if !ok || st != CacheMiss || calls != 1 {
 		t.Fatalf("first lookup: ok=%v status=%v calls=%d", ok, st, calls)
 	}
-	circ2, ok, st := c.GetOrCompute(u, compute)
+	circ2, ok, st, _ := c.GetOrCompute(nil, u, compute)
 	if !ok || st != CacheHit || calls != 1 {
 		t.Fatalf("second lookup: ok=%v status=%v calls=%d", ok, st, calls)
 	}
@@ -49,14 +49,14 @@ func TestCacheMatchesUpToGlobalPhase(t *testing.T) {
 	u := gate.New(gate.CX).Matrix()
 	phased := u.Scale(cmplx.Exp(0.7i))
 	calls := 0
-	compute := func() (*circuit.Circuit, bool) {
+	compute := func() (*circuit.Circuit, bool, error) {
 		calls++
-		return cxCircuit(), true
+		return cxCircuit(), true, nil
 	}
-	if _, _, st := c.GetOrCompute(u, compute); st != CacheMiss {
+	if _, _, st, _ := c.GetOrCompute(nil, u, compute); st != CacheMiss {
 		t.Fatalf("expected miss, got %v", st)
 	}
-	if _, _, st := c.GetOrCompute(phased, compute); st != CacheHit {
+	if _, _, st, _ := c.GetOrCompute(nil, phased, compute); st != CacheHit {
 		t.Fatalf("phase-rotated unitary should hit, got %v (calls=%d)", st, calls)
 	}
 	if calls != 1 {
@@ -70,12 +70,12 @@ func TestCacheDistinguishesDistinctUnitaries(t *testing.T) {
 	u1 := linalg.RandomUnitary(4, rng)
 	u2 := linalg.RandomUnitary(4, rng)
 	calls := 0
-	compute := func() (*circuit.Circuit, bool) {
+	compute := func() (*circuit.Circuit, bool, error) {
 		calls++
-		return cxCircuit(), true
+		return cxCircuit(), true, nil
 	}
-	c.GetOrCompute(u1, compute)
-	if _, _, st := c.GetOrCompute(u2, compute); st != CacheMiss {
+	c.GetOrCompute(nil, u1, compute)
+	if _, _, st, _ := c.GetOrCompute(nil, u2, compute); st != CacheMiss {
 		t.Fatalf("distinct unitary should miss, got %v", st)
 	}
 	if calls != 2 || c.Len() != 2 {
@@ -95,10 +95,10 @@ func TestCacheCoalescesInFlight(t *testing.T) {
 	calls.Add(1)
 	go func() {
 		defer calls.Done()
-		_, ok, st := c.GetOrCompute(u, func() (*circuit.Circuit, bool) {
+		_, ok, st, _ := c.GetOrCompute(nil, u, func() (*circuit.Circuit, bool, error) {
 			close(started)
 			<-release
-			return cxCircuit(), true
+			return cxCircuit(), true, nil
 		})
 		if !ok || st != CacheMiss {
 			t.Errorf("first requester: ok=%v status=%v", ok, st)
@@ -107,9 +107,9 @@ func TestCacheCoalescesInFlight(t *testing.T) {
 	<-started // the first computation is now in flight
 	done := make(chan CacheStatus, 1)
 	go func() {
-		_, _, st := c.GetOrCompute(u, func() (*circuit.Circuit, bool) {
+		_, _, st, _ := c.GetOrCompute(nil, u, func() (*circuit.Circuit, bool, error) {
 			t.Error("coalesced requester ran its own compute")
-			return nil, false
+			return nil, false, nil
 		})
 		done <- st
 	}()
@@ -143,9 +143,9 @@ func TestCacheNilSafe(t *testing.T) {
 	u := gate.New(gate.CX).Matrix()
 	calls := 0
 	for i := 0; i < 2; i++ {
-		_, ok, st := c.GetOrCompute(u, func() (*circuit.Circuit, bool) {
+		_, ok, st, _ := c.GetOrCompute(nil, u, func() (*circuit.Circuit, bool, error) {
 			calls++
-			return cxCircuit(), true
+			return cxCircuit(), true, nil
 		})
 		if !ok || st != CacheMiss {
 			t.Fatalf("nil cache: ok=%v status=%v", ok, st)
@@ -167,14 +167,14 @@ func TestCachePreservesFallbackFlag(t *testing.T) {
 	c := NewCache()
 	u := gate.New(gate.CX).Matrix()
 	calls := 0
-	compute := func() (*circuit.Circuit, bool) {
+	compute := func() (*circuit.Circuit, bool, error) {
 		calls++
-		return cxCircuit(), false
+		return cxCircuit(), false, nil
 	}
-	if _, ok, _ := c.GetOrCompute(u, compute); ok {
+	if _, ok, _, _ := c.GetOrCompute(nil, u, compute); ok {
 		t.Fatal("expected ok=false from compute")
 	}
-	if _, ok, st := c.GetOrCompute(u, compute); ok || st != CacheHit {
+	if _, ok, st, _ := c.GetOrCompute(nil, u, compute); ok || st != CacheHit {
 		t.Fatalf("cached failure: ok=%v status=%v", ok, st)
 	}
 	if calls != 1 {

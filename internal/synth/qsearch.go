@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"epoc/internal/circuit"
+	"epoc/internal/faultclock"
 	"epoc/internal/gate"
 	"epoc/internal/linalg"
 	"epoc/internal/obs"
@@ -140,6 +141,19 @@ type Options struct {
 	// expansions, instantiation calls and their timer, and the achieved
 	// distance/CNOT-count distributions per synthesized block.
 	Obs *obs.Recorder
+
+	// Gate, when non-nil, is checked before every node expansion
+	// (faultclock.SiteQSearchExpand). A cancellation or deadline stops
+	// the search immediately; Result.Err classifies the exit and the
+	// best-so-far circuit is still returned.
+	Gate *faultclock.Gate
+
+	// BudgetNodes, when > 0 and below MaxNodes, caps node expansions
+	// deterministically: the search stops with Result.Err =
+	// faultclock.ErrBudget after exactly that many expansions. Unlike a
+	// deadline it does not depend on wall-clock time, so budgeted
+	// compiles stay byte-identical across worker counts.
+	BudgetNodes int
 }
 
 func (o *Options) defaults(n int) {
@@ -167,6 +181,13 @@ type Result struct {
 	Distance float64
 	CNOTs    int
 	Nodes    int // A* nodes instantiated
+
+	// Err classifies an early exit: nil when the search ran to
+	// completion (target hit or MaxNodes), faultclock.ErrBudget when a
+	// node or time budget stopped it (Circuit is the best-so-far and
+	// usable as a degraded result), or the context's error when
+	// canceled (the caller should discard the partial circuit).
+	Err error
 }
 
 // node is an A* search state.
@@ -218,6 +239,20 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 	open := &nodeHeap{}
 	heap.Init(open)
 
+	nodes := 0
+	// gateCheck runs before every expansion: the injector/ctx/deadline
+	// gate first (so "cancel at the Nth expansion" trips are observed
+	// by that very check), then the deterministic node budget.
+	gateCheck := func() error {
+		if err := opts.Gate.Check(faultclock.SiteQSearchExpand); err != nil {
+			return err
+		}
+		if opts.BudgetNodes > 0 && nodes >= opts.BudgetNodes {
+			return faultclock.ErrBudget
+		}
+		return nil
+	}
+
 	expand := func(pls []placement, seeds [][]float64) *node {
 		t := &template{n: n, placements: pls}
 		sp := opts.Obs.Span("synth/instantiate")
@@ -234,8 +269,14 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 		}
 	}
 
+	if err := gateCheck(); err != nil {
+		// Stopped before the root expansion: nothing synthesized at
+		// all. Callers fall back to the block's gate realization (on
+		// budget) or discard the compile (on cancellation).
+		return record(Result{Distance: math.Inf(1), Err: err})
+	}
 	root := expand(nil, nil)
-	nodes := 1
+	nodes = 1
 	best := root
 	if root.dist < instantiateTol {
 		t := &template{n: n, placements: root.placements}
@@ -243,12 +284,17 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 	}
 	heap.Push(open, root)
 
+	var stop error
+search:
 	for open.Len() > 0 && nodes < opts.MaxNodes {
 		cur := heap.Pop(open).(*node)
 		if len(cur.placements) >= opts.MaxCNOTs {
 			continue
 		}
 		for _, pr := range pairs {
+			if stop = gateCheck(); stop != nil {
+				break search
+			}
 			pls := append(append([]placement(nil), cur.placements...), pr)
 			// Seed the child with the parent's parameters extended by
 			// identity U3s on the new layer.
@@ -269,7 +315,7 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 		}
 	}
 	t := &template{n: n, placements: best.placements}
-	return record(Result{Circuit: t.toCircuit(best.params), Distance: best.dist, CNOTs: len(best.placements), Nodes: nodes})
+	return record(Result{Circuit: t.toCircuit(best.params), Distance: best.dist, CNOTs: len(best.placements), Nodes: nodes, Err: stop})
 }
 
 func (n *node) cnots() int { return len(n.placements) }

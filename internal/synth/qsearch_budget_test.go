@@ -1,0 +1,84 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"epoc/internal/faultclock"
+	"epoc/internal/linalg"
+)
+
+// TestQSearchBudgetNodes: a node budget below what the target needs
+// stops the search deterministically with ErrBudget and the
+// best-so-far circuit.
+func TestQSearchBudgetNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u := linalg.RandomUnitary(4, rng)
+	full := QSearch(u, Options{Seed: 3})
+	if full.Err != nil {
+		t.Fatalf("unbudgeted search Err = %v", full.Err)
+	}
+	capped := QSearch(u, Options{Seed: 3, BudgetNodes: 1})
+	if !faultclock.IsBudget(capped.Err) {
+		t.Fatalf("capped search Err = %v, want ErrBudget", capped.Err)
+	}
+	if capped.Nodes != 1 {
+		t.Fatalf("capped search expanded %d nodes, budget was 1", capped.Nodes)
+	}
+	if capped.Circuit == nil {
+		t.Fatal("capped search returned no best-so-far circuit")
+	}
+	if capped.Distance < full.Distance {
+		t.Fatal("one node beat the full search; budget semantics are off")
+	}
+}
+
+// TestQSearchCancelAtExactExpansion: a trip armed on the kth expansion
+// check cancels the search at exactly that check.
+func TestQSearchCancelAtExactExpansion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u := linalg.RandomUnitary(4, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inj := faultclock.NewInjector()
+	const k = 3
+	inj.TripAfter(faultclock.SiteQSearchExpand, k, cancel)
+	res := QSearch(u, Options{Seed: 3, Gate: &faultclock.Gate{Ctx: ctx, Inj: inj}})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", res.Err)
+	}
+	if got := inj.Hits(faultclock.SiteQSearchExpand); got != k {
+		t.Fatalf("search made %d expansion checks, want exactly %d", got, k)
+	}
+}
+
+// TestSynthesizeBlockBudgetFallsBack: under a starved budget the block
+// keeps its original gate realization (ok = false, ErrBudget), while a
+// cancellation discards everything.
+func TestSynthesizeBlockBudgetFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	u := linalg.RandomUnitary(4, rng)
+	fb := cxCircuit()
+
+	fake := faultclock.NewFake()
+	expired := &faultclock.Gate{Clock: fake, Deadline: fake.Now().Add(-1)}
+	circ, ok, err := SynthesizeBlock(u, fb, Options{Seed: 9, Gate: expired})
+	if !faultclock.IsBudget(err) {
+		t.Fatalf("budget-starved block err = %v, want ErrBudget", err)
+	}
+	if ok || circ != fb {
+		t.Fatalf("budget-starved block should keep its fallback: ok=%v circ==fb %v", ok, circ == fb)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	circ, ok, err = SynthesizeBlock(u, fb, Options{Seed: 9, Gate: &faultclock.Gate{Ctx: ctx}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled block err = %v, want context.Canceled", err)
+	}
+	if ok || circ != nil {
+		t.Fatal("canceled block must discard partial work, not fall back")
+	}
+}

@@ -107,7 +107,10 @@ func TestSynthesizeBlockFallback(t *testing.T) {
 	u := linalg.RandomUnitary(4, rng)
 	fb := circuit.New(2)
 	fb.Append(gate.NewUnitary(u), 0, 1)
-	c, ok := SynthesizeBlock(u, fb, Options{MaxCNOTs: 1, MaxNodes: 3, OptBudget: 5, Seed: 19})
+	c, ok, err := SynthesizeBlock(u, fb, Options{MaxCNOTs: 1, MaxNodes: 3, OptBudget: 5, Seed: 19})
+	if err != nil {
+		t.Fatalf("SynthesizeBlock error: %v", err)
+	}
 	if ok || c != fb {
 		t.Fatalf("fallback not used: ok=%v", ok)
 	}
@@ -116,7 +119,10 @@ func TestSynthesizeBlockFallback(t *testing.T) {
 func TestSynthesizeBlock1Q(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	u := linalg.RandomUnitary(2, rng)
-	c, ok := SynthesizeBlock(u, nil, Options{})
+	c, ok, err := SynthesizeBlock(u, nil, Options{})
+	if err != nil {
+		t.Fatalf("SynthesizeBlock error: %v", err)
+	}
 	if !ok {
 		t.Fatal("1q block synthesis must succeed")
 	}
