@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race test-leak bench fuzz ci
+.PHONY: all build vet lint test race test-leak bench bench-json bench-gate fuzz ci
 
 all: build vet lint test
 
@@ -36,6 +36,20 @@ test-leak:
 # Full benchmark harness; re-runs the paper's experiments (slow).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark artifact: the small suite (Table 1
+# circuits, estimate mode) as bench/BENCH_small.json. Deterministic
+# metrics (latency, fidelity, counts) are byte-stable across machines;
+# only compile_time_ns varies.
+bench-json:
+	$(GO) run ./cmd/epoc-bench -suite small -json bench
+
+# Perf regression gate: re-run the small suite and compare against the
+# committed seed baseline. Non-zero exit on any gated-metric
+# regression. Refresh the baseline with:
+#   go run ./cmd/epoc-bench -suite small -json bench/baseline
+bench-gate:
+	$(GO) run ./cmd/epoc-bench -suite small -baseline bench/baseline/BENCH_small.json
 
 # Native Go fuzzing of the QASM parser (bounded; CI runs the same
 # target for 30s on every push).

@@ -1,0 +1,140 @@
+// Benchmark suites as machine-readable artifacts: -suite runs a fixed
+// circuit set under a pinned config, -json writes the per-circuit
+// metrics as BENCH_<suite>.json, and -baseline gates the run against a
+// previously committed artifact — the CI perf gate.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"epoc/internal/benchcirc"
+	"epoc/internal/core"
+	"epoc/internal/hardware"
+	"epoc/internal/pulse"
+	"epoc/internal/report"
+)
+
+// budgetSpec holds the raw -stage-budget string for the artifact's
+// config fingerprint: budgets change the deterministic metrics, so two
+// artifacts are only comparable under the same spec.
+var budgetSpec string
+
+// suiteCircuits maps a suite name to its circuit list. Suites run the
+// EPOC strategy in estimate mode: every gated metric is then a pure
+// function of the circuit set and config, so the regression gate can
+// compare at tight tolerances across machines.
+func suiteCircuits(suite string) ([]string, error) {
+	switch suite {
+	case "small":
+		return benchcirc.Table1Names(), nil
+	case "all":
+		return benchcirc.AllNames(), nil
+	}
+	return nil, fmt.Errorf("unknown -suite %q (suites: small, all)", suite)
+}
+
+// runSuite compiles every circuit in the suite and collects the flat
+// metric map of each into a sorted BenchArtifact.
+func runSuite(suite string) (*report.BenchArtifact, error) {
+	names, err := suiteCircuits(suite)
+	if err != nil {
+		return nil, err
+	}
+	art := &report.BenchArtifact{
+		Version:  report.ManifestVersion,
+		Suite:    suite,
+		Strategy: string(core.EPOC),
+		Config: map[string]string{
+			"mode":         "estimate",
+			"stage_budget": budgetSpec,
+		},
+	}
+	// The fingerprint hashes strategy + config exactly like a run
+	// manifest's, so the two artifact kinds agree on comparability.
+	art.ConfigFingerprint = (&report.Manifest{
+		Strategy: art.Strategy,
+		Config:   art.Config,
+	}).Fingerprint()
+
+	for _, name := range names {
+		c, err := benchcirc.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", suite, err)
+		}
+		res, err := compile(c, core.Options{
+			Strategy: core.EPOC,
+			Device:   hardware.LinearChain(c.NumQubits),
+			Mode:     core.QOCEstimate,
+			Library:  pulse.NewLibrary(true),
+			Workers:  workerCount,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("suite %s, circuit %s: %w", suite, name, err)
+		}
+		art.Circuits = append(art.Circuits, report.CircuitResult{
+			Name:    name,
+			Metrics: res.MetricMap(),
+		})
+		fmt.Printf("  %-12s latency %8.1f ns  fidelity %.5f  pulses %3.0f\n",
+			name, res.Latency, res.Fidelity, res.MetricMap()["pulses"])
+	}
+	art.Sort()
+	return art, nil
+}
+
+// runSuiteMode drives the -suite/-json/-baseline flags: run the suite,
+// optionally persist the artifact, optionally gate against a baseline.
+// It exits the process non-zero when the gate finds regressions.
+func runSuiteMode(suite, jsonDir, baselinePath string) {
+	fmt.Printf("== Suite %s (EPOC, estimate mode) ==\n", suite)
+	art, err := runSuite(suite)
+	if err != nil {
+		fatalErr(err)
+	}
+	if jsonDir != "" {
+		data, err := report.EncodeArtifact(art)
+		if err != nil {
+			fatalErr(err)
+		}
+		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
+			fatalErr(err)
+		}
+		path := filepath.Join(jsonDir, "BENCH_"+suite+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatalErr(err)
+		}
+		fmt.Println("wrote", path)
+	}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fatalErr(err)
+		}
+		base, err := report.DecodeArtifact(raw)
+		if err != nil {
+			fatalErr(fmt.Errorf("baseline %s: %w", baselinePath, err))
+		}
+		regs, err := report.CompareBaseline(base, art, nil)
+		if err != nil {
+			fatalErr(fmt.Errorf("baseline %s: %w", baselinePath, err))
+		}
+		if len(regs) > 0 {
+			var b strings.Builder
+			for _, r := range regs {
+				fmt.Fprintf(&b, "  %s\n", r.String())
+			}
+			fmt.Fprintf(os.Stderr, "epoc-bench: %d regression(s) vs %s:\n%s", len(regs), baselinePath, b.String())
+			os.Exit(1)
+		}
+		fmt.Printf("baseline check passed: %d circuits, no regressions vs %s\n",
+			len(art.Circuits), baselinePath)
+	}
+}
+
+func fatalErr(err error) {
+	fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+	os.Exit(1)
+}

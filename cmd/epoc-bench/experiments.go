@@ -36,11 +36,19 @@ var benchCtx = context.Background()
 // degradation budgets to every experiment compile.
 var benchBudgets core.Budgets
 
+// benchObs (set when -debug-addr is live) is the recorder the debug
+// server publishes over expvar; compiles that don't carry their own
+// recorder report into it so the endpoint shows live counters.
+var benchObs *obs.Recorder
+
 // compile routes every experiment compile through the run-wide
 // context and budgets, and surfaces degradation inline so a budgeted
 // run's tables are honest about which rows are best-so-far numbers.
 func compile(c *circuit.Circuit, opts core.Options) (*core.Result, error) {
 	opts.Budgets = benchBudgets
+	if opts.Obs == nil && benchObs != nil {
+		opts.Obs = benchObs
+	}
 	res, err := core.CompileContext(benchCtx, c, opts)
 	if err == nil && res.Degraded {
 		fmt.Printf("  [degraded: %s]\n", strings.Join(res.DegradeReasons, ", "))

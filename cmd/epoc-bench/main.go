@@ -32,6 +32,8 @@ import (
 	"runtime/pprof"
 
 	"epoc/internal/core"
+	"epoc/internal/debugsrv"
+	"epoc/internal/obs"
 )
 
 func main() {
@@ -50,6 +52,10 @@ func main() {
 		budgets    = flag.String("stage-budget", "", "per-compile budgets, degrade instead of overrunning: total=30s,synth=2s,qoc=5s,synth-nodes=500,qoc-iters=50")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+		suite      = flag.String("suite", "", "run a fixed benchmark suite (small | all) for -json/-baseline")
+		jsonDir    = flag.String("json", "", "with -suite: write the BENCH_<suite>.json artifact into this directory")
+		baseline   = flag.String("baseline", "", "with -suite: compare against this artifact and exit non-zero on regression")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and expvar obs counters on this address while the run is live")
 	)
 	flag.Parse()
 	statsMode = *stats
@@ -60,6 +66,16 @@ func main() {
 		os.Exit(1)
 	}
 	benchBudgets = b
+	budgetSpec = *budgets
+	if *debugAddr != "" {
+		benchObs = obs.New()
+		addr, err := debugsrv.Serve(*debugAddr, benchObs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "epoc-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "epoc-bench: debug server on http://%s/debug/pprof\n", addr)
+	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -110,6 +126,10 @@ func main() {
 	}
 	if *ablate || *all {
 		runAblations(full)
+		any = true
+	}
+	if *suite != "" {
+		runSuiteMode(*suite, *jsonDir, *baseline)
 		any = true
 	}
 	if !any {

@@ -21,16 +21,19 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"epoc/internal/benchcirc"
 	"epoc/internal/circuit"
 	"epoc/internal/core"
+	"epoc/internal/debugsrv"
 	"epoc/internal/hardware"
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/qasm"
 	"epoc/internal/report"
+	"epoc/internal/trace"
 )
 
 func main() {
@@ -49,6 +52,9 @@ func main() {
 		budgets    = flag.String("stage-budget", "", "degrade instead of overrunning: total=30s,synth=2s,qoc=5s,synth-nodes=500,qoc-iters=50")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (load in Perfetto or chrome://tracing)")
+		reportOut  = flag.String("report", "", "write a machine-readable run manifest (metrics, obs snapshot, trace summary, config fingerprint) to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and expvar obs counters on this address while compiling (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -74,9 +80,21 @@ func main() {
 		Budgets:    b,
 	}
 	var rec *obs.Recorder
-	if *stats {
+	if *stats || *reportOut != "" {
 		rec = obs.New()
 		opts.Obs = rec
+	}
+	var tracer *trace.Tracer
+	if *traceOut != "" || *reportOut != "" {
+		tracer = trace.New(nil)
+		opts.Trace = tracer
+	}
+	if *debugAddr != "" {
+		addr, err := debugsrv.Serve(*debugAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "epoc: debug server on http://%s/debug/pprof\n", addr)
 	}
 	switch *mode {
 	case "full":
@@ -121,12 +139,29 @@ func main() {
 	var snap *obs.Snapshot
 	if rec != nil {
 		snap = rec.Snapshot()
+	}
+	if *stats && snap != nil {
 		if total := st.LibraryHits + st.LibraryMisses; total > 0 {
 			fmt.Printf("library:       %.1f%% hit rate (%d lookups)\n",
 				100*float64(st.LibraryHits)/float64(total), total)
 		}
 		fmt.Println()
 		fmt.Print(report.RenderSnapshot(snap))
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, tracer.ChromeTrace(), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *reportOut != "" {
+		m := buildManifest(circuitName(*in, *bench), res, snap, tracer, *mode, *workers, *grape, *budgets)
+		data, err := report.EncodeManifest(m)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*reportOut, data, 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	if *schedule {
 		fmt.Print(res.Schedule.String())
@@ -189,6 +224,39 @@ func writeHeapProfile(path string) error {
 	defer f.Close()
 	runtime.GC() // materialize up-to-date allocation stats
 	return pprof.WriteHeapProfile(f)
+}
+
+// circuitName labels the run in the manifest: the benchmark name when
+// -bench was used, otherwise the input path.
+func circuitName(in, bench string) string {
+	if bench != "" {
+		return bench
+	}
+	return in
+}
+
+// buildManifest bundles one compile into the machine-readable run
+// manifest behind -report: result metrics, the obs snapshot, the trace
+// summary, and a fingerprint of every knob that affects the output.
+func buildManifest(name string, res *core.Result, snap *obs.Snapshot, tr *trace.Tracer, mode string, workers, grapeIters int, budgets string) *report.Manifest {
+	m := &report.Manifest{
+		Version:  report.ManifestVersion,
+		Circuit:  name,
+		Strategy: string(res.Strategy),
+		Config: map[string]string{
+			"mode":         mode,
+			"workers":      strconv.Itoa(workers),
+			"grape_iters":  strconv.Itoa(grapeIters),
+			"stage_budget": budgets,
+		},
+		Metrics:        res.MetricMap(),
+		Degraded:       res.Degraded,
+		DegradeReasons: res.DegradeReasons,
+		Obs:            snap,
+		Trace:          tr.Summary(),
+	}
+	m.Fingerprint()
+	return m
 }
 
 func loadCircuit(in, bench string) (*circuit.Circuit, error) {

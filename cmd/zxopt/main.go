@@ -20,6 +20,7 @@ import (
 	"epoc/internal/benchcirc"
 	"epoc/internal/circuit"
 	"epoc/internal/core"
+	"epoc/internal/debugsrv"
 	"epoc/internal/qasm"
 	"epoc/internal/zx"
 )
@@ -31,8 +32,17 @@ func main() {
 		out        = flag.String("out", "", "write the optimized circuit as QASM to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof on this address while optimizing (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := debugsrv.Serve(*debugAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "zxopt: debug server on http://%s/debug/pprof\n", addr)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

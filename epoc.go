@@ -34,6 +34,7 @@ import (
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/qasm"
+	"epoc/internal/trace"
 )
 
 // Circuit is a gate-level quantum circuit (qubit 0 = least-significant
@@ -84,6 +85,13 @@ type Recorder = obs.Recorder
 // ObsSnapshot is an immutable copy of everything a Recorder has
 // collected, ready for rendering or JSON encoding.
 type ObsSnapshot = obs.Snapshot
+
+// Tracer records a hierarchical span trace of a compilation — per
+// stage, per synthesized block, per optimized pulse — exportable as
+// Chrome trace-event JSON (Perfetto-loadable) via Tracer.ChromeTrace
+// or aggregated via Tracer.Summary. Attach one via
+// CompileOptions.Trace; a nil Tracer records nothing at zero cost.
+type Tracer = trace.Tracer
 
 // Compilation strategies.
 const (
@@ -140,6 +148,11 @@ func NewPulseLibrary(matchGlobalPhase bool) *PulseLibrary {
 // CompileOptions.Obs (it is goroutine-safe and may be shared across
 // compilations), then read results with Recorder.Snapshot.
 func NewRecorder() *Recorder { return obs.New() }
+
+// NewTracer creates a span tracer reading the real clock. Set it as
+// CompileOptions.Trace, then export with Tracer.ChromeTrace or
+// Tracer.Summary after the compile returns.
+func NewTracer() *Tracer { return trace.New(nil) }
 
 // Compile lowers a circuit to a pulse schedule under the options'
 // strategy (full EPOC by default).

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"epoc/internal/circuit"
@@ -25,6 +26,7 @@ import (
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/synth"
+	"epoc/internal/trace"
 )
 
 // Strategy selects a compilation flow.
@@ -151,6 +153,17 @@ type Options struct {
 	// instrumented paths cost a single nil check and zero allocations.
 	Obs *obs.Recorder
 
+	// Trace, when non-nil, records a hierarchical span trace of this
+	// compile: a "compile" root span, one child per pipeline stage, one
+	// span per synthesized block class (with cache status, QSearch
+	// nodes and achieved distance) and per optimized pulse (with its
+	// duration-search probes). Where Obs answers "how much time per
+	// stage in aggregate", the trace answers "which block ate it".
+	// Export with Trace.ChromeTrace (Perfetto-loadable) or bundle
+	// Trace.Summary into a run manifest (internal/report). Like Obs,
+	// a nil tracer costs one nil check and zero allocations.
+	Trace *trace.Tracer
+
 	// Budgets bounds the compile's work; see the type's documentation.
 	// The zero value means unlimited.
 	Budgets Budgets
@@ -175,6 +188,30 @@ type Options struct {
 	// and threaded to the inner loops through this Options copy.
 	synthGate *faultclock.Gate
 	qocGate   *faultclock.Gate
+	// compileSpan is the root trace span; synthSpan/qocSpan are the
+	// stage-3/stage-5 spans, threaded to the block and pulse loops
+	// through this Options copy so their spans nest correctly.
+	compileSpan *trace.Span
+	synthSpan   *trace.Span
+	qocSpan     *trace.Span
+}
+
+// stageSpan pairs a stage's aggregate obs timer with its trace span so
+// the pipeline opens and closes both with one call.
+type stageSpan struct {
+	obs obs.Span
+	tr  *trace.Span
+}
+
+func (s stageSpan) End() {
+	s.obs.End()
+	s.tr.End()
+}
+
+// beginStage opens the paired obs timer and trace span for one
+// pipeline stage, the trace span a child of the compile root.
+func (o *Options) beginStage(name string) stageSpan {
+	return stageSpan{obs: o.Obs.Span(name), tr: o.compileSpan.Child(name)}
 }
 
 // stageGate builds the cancellation/budget gate for one stage: the
@@ -321,6 +358,30 @@ type Result struct {
 	DegradeReasons []string
 }
 
+// MetricMap flattens the result into the flat float64 metric set the
+// run manifest and bench artifacts carry, keyed to match the
+// regression gate's default thresholds. compile_time_ns is the only
+// wall-clock-dependent entry; everything else is deterministic for a
+// given circuit and config.
+func (r *Result) MetricMap() map[string]float64 {
+	degraded := 0.0
+	if r.Degraded {
+		degraded = 1.0
+	}
+	return map[string]float64{
+		"latency_ns":      r.Latency,
+		"fidelity":        r.Fidelity,
+		"compile_time_ns": float64(r.CompileTime.Nanoseconds()),
+		"pulses":          float64(r.Stats.PulseCount),
+		"blocks":          float64(r.Stats.Blocks),
+		"vugs":            float64(r.Stats.VUGs),
+		"cnots":           float64(r.Stats.CNOTsAfter),
+		"synth_fallbacks": float64(r.Stats.SynthFallback),
+		"qoc_runs":        float64(r.Stats.QOCRuns),
+		"degraded":        degraded,
+	}
+}
+
 // Compile lowers a circuit to a pulse schedule under the selected
 // strategy. It is CompileContext with a background context: no
 // cancellation, budgets still honored.
@@ -348,6 +409,12 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 	start := time.Now()
 	hits0, misses0 := o.Library.Hits, o.Library.Misses
 	sp := o.Obs.Span("compile")
+	tsp := o.Trace.Start("compile").
+		SetStr("strategy", string(o.Strategy)).
+		SetInt("qubits", int64(c.NumQubits)).
+		SetInt("gates", int64(c.Len()))
+	defer tsp.End()
+	o.compileSpan = tsp
 	var (
 		res *Result
 		err error
@@ -361,6 +428,7 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 	sp.End()
 	if err != nil {
 		o.Obs.Add("compile/canceled", 1)
+		tsp.SetStr("stop", "canceled")
 		return nil, err
 	}
 	if res.Stats.SynthDegraded > 0 {
@@ -371,8 +439,10 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 	}
 	sort.Strings(res.DegradeReasons)
 	res.Degraded = len(res.DegradeReasons) > 0
+	tsp.SetBool("degraded", res.Degraded)
 	if res.Degraded {
 		o.Obs.Add("compile/degraded", 1)
+		tsp.SetStr("degrade_reasons", strings.Join(res.DegradeReasons, ","))
 	} else {
 		o.Obs.Add("compile/completed", 1)
 	}

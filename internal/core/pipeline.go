@@ -24,7 +24,7 @@ func compileGateBased(c *circuit.Circuit, o Options) (*Result, error) {
 	if err := o.stageGate(0).Check(faultclock.SiteStageLower); err != nil && !faultclock.IsBudget(err) {
 		return nil, err
 	}
-	sp := o.Obs.Span("stage/lower")
+	sp := o.beginStage("stage/lower")
 	defer sp.End()
 	sched := pulse.NewSchedule(c.NumQubits)
 	res := &Result{Schedule: sched}
@@ -75,7 +75,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		}
 		res.DegradeReasons = append(res.DegradeReasons, "zx")
 	} else if *o.UseZX {
-		sp := o.Obs.Span("stage/zx")
+		sp := o.beginStage("stage/zx")
 		work = zxOptimize(work)
 		sp.End()
 	}
@@ -90,7 +90,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		if err := g.Check(faultclock.SiteStageRoute); err != nil && !faultclock.IsBudget(err) {
 			return nil, err
 		}
-		sp := o.Obs.Span("stage/route")
+		sp := o.beginStage("stage/route")
 		basis := optimize.DecomposeToBasis(work)
 		topo := route.NewTopology(o.Device.NumQubits, o.Device.Edges)
 		routed, err := route.Route(basis, topo)
@@ -106,7 +106,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	if err := g.Check(faultclock.SiteStagePartition); err != nil && !faultclock.IsBudget(err) {
 		return nil, err
 	}
-	sp := o.Obs.Span("stage/partition")
+	sp := o.beginStage("stage/partition")
 	blocks := partition.Partition(work, partition.Options{
 		MaxQubits: o.PartitionMaxQubits,
 		MaxGates:  o.PartitionMaxGates,
@@ -126,7 +126,8 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		}
 		o.synthGate = o.stageGate(o.Budgets.SynthTime)
 		o.Synth.Gate = o.synthGate
-		sp := o.Obs.Span("stage/synth")
+		sp := o.beginStage("stage/synth")
+		o.synthSpan = sp.tr
 		var err error
 		lowered, err = synthesizeBlocks(c.NumQubits, blocks, o, &res.Stats)
 		sp.End()
@@ -154,7 +155,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 			pulsed = lowered
 			break
 		}
-		sp := o.Obs.Span("stage/regroup")
+		sp := o.beginStage("stage/regroup")
 		pulsed = synth.Regroup(lowered, o.RegroupMaxQubits)
 		sp.End()
 	case EPOCNoGroup:
@@ -182,7 +183,8 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		return nil, err
 	}
 	o.qocGate = o.stageGate(o.Budgets.QOCTime)
-	sp = o.Obs.Span("stage/qoc")
+	sp = o.beginStage("stage/qoc")
+	o.qocSpan = sp.tr
 	if o.Mode == QOCFull {
 		if o.Strategy == AccQOC {
 			if err := mstPrefill(pulsed, o, &res.Stats); err != nil {
@@ -288,10 +290,21 @@ func synthesizeBlocks(n int, blocks []partition.Block, o Options, st *Stats) (*c
 	results := make([]outcome, len(classes))
 	run := func(ci int) {
 		bsp := o.Obs.Span("stage/synth/block")
+		// The class index, qubit count and duplicate count are pure
+		// functions of the circuit, so block spans sort canonically
+		// regardless of which worker ran them.
+		tsp := o.synthSpan.Child("stage/synth/block").
+			SetInt("class", int64(ci)).
+			SetInt("qubits", int64(log2(classes[ci].u.Rows))).
+			SetInt("dup", int64(classes[ci].dup))
+		defer tsp.End()
+		sopts := o.Synth
+		sopts.Span = tsp
 		circ, ok, status, err := o.SynthCache.GetOrCompute(o.synthGate, classes[ci].u, func() (*circuit.Circuit, bool, error) {
-			return synth.SynthesizeOutcome(classes[ci].u, o.Synth)
+			return synth.SynthesizeOutcome(classes[ci].u, sopts)
 		})
 		bsp.End()
+		tsp.SetStr("cache", status.String()).SetBool("ok", ok)
 		results[ci] = outcome{circ: circ, ok: ok, status: status, err: err}
 	}
 	workers := o.Workers
@@ -516,6 +529,15 @@ func mstPrefill(pulsed *circuit.Circuit, o Options, st *Stats) error {
 	return nil
 }
 
+// log2 returns the base-2 logarithm of a power-of-two dimension.
+func log2(dim int) int {
+	n := 0
+	for d := dim; d > 1; d >>= 1 {
+		n++
+	}
+	return n
+}
+
 // pulseFor produces a pulse for one block unitary, via GRAPE or the
 // calibrated estimator.
 func pulseFor(u *linalg.Matrix, op circuit.Op, o Options, st *Stats) (*pulse.Pulse, error) {
@@ -532,11 +554,21 @@ func pulseFor(u *linalg.Matrix, op circuit.Op, o Options, st *Stats) (*pulse.Pul
 func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm [][]float64) (*pulse.Pulse, error) {
 	k := len(op.Qubits)
 	label := fmt.Sprintf("%s[%dq]", op.G.Kind, k)
+	// One trace span per pulse that reaches the optimizer (or the
+	// estimator); the unitary fingerprint prefix distinguishes sibling
+	// spans deterministically — the prefill pools dedupe by
+	// fingerprint, so no two concurrent pulse spans share one.
+	tsp := o.qocSpan.Child("qoc/pulse").
+		SetStr("label", label).
+		SetStr("u", fingerprintPrefix(u))
+	defer tsp.End()
 	if o.Mode == QOCEstimate {
 		if err := o.qocGate.Err(); err != nil {
+			tsp.SetStr("stop", "canceled")
 			return nil, err
 		}
 		dur, fid := estimatePulse(op, o)
+		tsp.SetBool("estimated", true).SetFloat("duration_ns", dur)
 		return &pulse.Pulse{Label: label, Duration: dur, Fidelity: fid}, nil
 	}
 	model := o.Device.BlockModel(k)
@@ -560,6 +592,7 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 			Obs:         o.Obs,
 			Gate:        o.qocGate,
 			BudgetIters: o.Budgets.QOCIters,
+			Span:        tsp,
 		})
 	} else {
 		cfg := qoc.GRAPEConfig{
@@ -569,25 +602,32 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 			Obs:         o.Obs,
 			Gate:        o.qocGate,
 			BudgetIters: o.Budgets.QOCIters,
+			Span:        tsp,
 		}
 		if warm == nil {
 			r = qoc.DurationSearch(model, u, 2, maxSlots, step, cfg)
 		} else {
-			r = qoc.SearchDuration(cfg.Gate, 2, maxSlots, step, cfg.Target, qoc.ObserveProbes(o.Obs, func(slots int) qoc.Result {
+			r = qoc.SearchDuration(cfg.Gate, 2, maxSlots, step, cfg.Target, qoc.ObserveProbes(o.Obs, qoc.TraceProbes(tsp, func(slots int) qoc.Result {
 				return qoc.WarmStartGRAPE(model, u, slots, warm, cfg)
-			}))
+			})))
 		}
 	}
+	tsp.SetInt("slots", int64(r.Slots)).
+		SetFloat("duration_ns", r.Duration).
+		SetFloat("infidelity", 1-r.Fidelity)
 	if r.Err != nil {
 		if !faultclock.IsBudget(r.Err) {
+			tsp.SetStr("stop", "canceled")
 			return nil, r.Err
 		}
 		st.QOCDegraded++
 		o.Obs.Add("qoc/degraded", 1)
+		tsp.SetStr("stop", "budget")
 		if r.Slots <= 0 || r.Amps == nil {
 			// The budget expired before any probe completed: fall back
 			// to the calibrated estimator rather than an empty pulse.
 			dur, fid := estimatePulse(op, o)
+			tsp.SetBool("estimated", true)
 			return &pulse.Pulse{Label: label, Duration: dur, Fidelity: fid}, faultclock.ErrBudget
 		}
 	}
@@ -598,6 +638,16 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 		Slots:    r.Slots,
 		Amps:     r.Amps,
 	}, r.Err
+}
+
+// fingerprintPrefix shortens a unitary fingerprint to a readable trace
+// attribute.
+func fingerprintPrefix(u *linalg.Matrix) string {
+	fp := linalg.Fingerprint(u)
+	if len(fp) > 12 {
+		fp = fp[:12]
+	}
+	return fp
 }
 
 // estimatePulse predicts a pulse's duration and fidelity from gate

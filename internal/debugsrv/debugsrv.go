@@ -1,0 +1,59 @@
+// Package debugsrv serves the live-debugging endpoint behind the
+// CLIs' -debug-addr flag: net/http/pprof's profiling handlers under
+// /debug/pprof, plus the process's expvar page at /debug/vars with the
+// attached obs recorder's counters published under "epoc". Watching a
+// long compile then needs no instrumentation beyond the flag:
+//
+//	epoc -in circuit.qasm -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile
+//	curl -s localhost:6060/debug/vars | jq .epoc
+package debugsrv
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"sync/atomic"
+
+	"epoc/internal/obs"
+)
+
+// recorder is the obs recorder whose counters the expvar export reads;
+// swapped atomically so Serve can be called while compiles run.
+var recorder atomic.Pointer[obs.Recorder]
+
+func init() {
+	// Publish once at package load: expvar.Publish panics on duplicate
+	// names, and tests call Serve more than once per process.
+	expvar.Publish("epoc", expvar.Func(func() interface{} {
+		r := recorder.Load()
+		if r == nil {
+			return map[string]int64{}
+		}
+		snap := r.Snapshot()
+		return snap.Counters
+	}))
+}
+
+// Serve starts the debug HTTP server on addr, exposing /debug/pprof
+// and /debug/vars (with rec's counters under "epoc"; nil is allowed
+// and publishes an empty map). The listener is opened synchronously so
+// address errors surface to the caller; the serve loop then runs in a
+// background goroutine for the life of the process, matching the
+// flag's use — there is deliberately no Stop. It returns the bound
+// address, useful when addr held port 0.
+func Serve(addr string, rec *obs.Recorder) (string, error) {
+	recorder.Store(rec)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debugsrv: %w", err)
+	}
+	go func() {
+		// http.Serve only returns on listener failure; the process is
+		// exiting then and there is nobody to hand the error to.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,66 @@
+package debugsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"epoc/internal/obs"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestServe(t *testing.T) {
+	r := obs.New()
+	r.Add("compiles", 3)
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var vars struct {
+		Epoc map[string]int64 `json:"epoc"`
+	}
+	if err := json.Unmarshal(get(t, fmt.Sprintf("http://%s/debug/vars", addr)), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Epoc["compiles"] != 3 {
+		t.Fatalf("expvar epoc.compiles = %d, want 3", vars.Epoc["compiles"])
+	}
+
+	// Counters published live: later recording shows without re-Serve.
+	r.Add("compiles", 2)
+	if err := json.Unmarshal(get(t, fmt.Sprintf("http://%s/debug/vars", addr)), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Epoc["compiles"] != 5 {
+		t.Fatalf("expvar epoc.compiles = %d after update, want 5", vars.Epoc["compiles"])
+	}
+
+	if body := get(t, fmt.Sprintf("http://%s/debug/pprof/cmdline", addr)); len(body) == 0 {
+		t.Fatal("pprof cmdline endpoint returned nothing")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:0", nil); err == nil {
+		t.Fatal("no error for an unbindable address")
+	}
+}

@@ -35,12 +35,16 @@ var layeringDAG = map[string][]string{
 	// (PR 1), linalg and opt are the numerical foundation, and
 	// faultclock is the cancellation/budget gate threaded through the
 	// pipeline's loops (PR 4) — a leaf so every layer can carry it.
+	// trace is a leaf by the same argument as faultclock: it declares
+	// its own Clock interface (satisfied structurally by faultclock's
+	// fake), so every layer can carry spans without new edges.
 	"internal/faultclock": {},
 	"internal/gate":       {"internal/linalg"},
 	"internal/linalg":     {},
 	"internal/lint":       {},
 	"internal/obs":        {},
 	"internal/opt":        {},
+	"internal/trace":      {},
 
 	// Circuit IR and its direct consumers.
 	"internal/benchcirc": {"internal/circuit", "internal/gate"},
@@ -54,11 +58,12 @@ var layeringDAG = map[string][]string{
 	"internal/zx":        {"internal/circuit", "internal/gate", "internal/optimize"},
 
 	// Pulse/QOC layer.
+	"internal/debugsrv": {"internal/obs"},
 	"internal/hardware": {"internal/gate", "internal/qoc"},
 	"internal/pulse":    {"internal/linalg"},
-	"internal/qoc":      {"internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt"},
-	"internal/report":   {"internal/obs"},
-	"internal/synth":    {"internal/circuit", "internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize"},
+	"internal/qoc":      {"internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/trace"},
+	"internal/report":   {"internal/obs", "internal/trace"},
+	"internal/synth":    {"internal/circuit", "internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize", "internal/trace"},
 
 	// The pipeline orchestrator sits on top of everything.
 	"internal/core": {
@@ -66,7 +71,7 @@ var layeringDAG = map[string][]string{
 		"internal/hardware", "internal/linalg", "internal/obs",
 		"internal/optimize", "internal/partition", "internal/pulse",
 		"internal/qoc", "internal/route", "internal/sim",
-		"internal/synth", "internal/zx",
+		"internal/synth", "internal/trace", "internal/zx",
 	},
 }
 

@@ -18,7 +18,10 @@
 //   - a context.Context accepted by a function actually flows into the
 //     work it guards — no unused ctx parameters, no in-module calls
 //     handed a fresh context.Background() while the caller's context
-//     is in scope (ctxflow).
+//     is in scope (ctxflow);
+//   - a *trace.Span obtained in a function is ended on every path out
+//     of it: defer sp.End(), or let the span escape to the owner of
+//     its lifetime (spanend).
 //
 // Findings may be suppressed, one site at a time and with a mandatory
 // reason, by a comment on the offending line or the line above:
@@ -89,7 +92,7 @@ func (f Finding) String() string {
 
 // All returns the full epoc-lint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow}
+	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow, Spanend}
 }
 
 // ByName resolves a comma-separated analyzer list ("floatcmp,layering")

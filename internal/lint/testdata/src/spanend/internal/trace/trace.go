@@ -1,0 +1,18 @@
+// Package trace is a fixture stub of the real internal/trace: just
+// enough surface for the spanend demo to type-check. The analyzer
+// skips this package itself (it constructs spans).
+package trace
+
+type Tracer struct{}
+
+func New() *Tracer { return &Tracer{} }
+
+func (t *Tracer) Start(name string) *Span { return &Span{} }
+
+type Span struct{}
+
+func (s *Span) Child(name string) *Span        { return &Span{} }
+func (s *Span) End()                           {}
+func (s *Span) SetStr(k, v string) *Span       { return s }
+func (s *Span) SetInt(k string, v int64) *Span { return s }
+func (s *Span) SetBool(k string, v bool) *Span { return s }

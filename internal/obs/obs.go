@@ -38,6 +38,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -288,6 +289,18 @@ func (r *Recorder) Snapshot() *Snapshot {
 		s.Series[k] = append([]float64(nil), v...)
 	}
 	return s
+}
+
+// JSON renders the snapshot as indented JSON with a trailing newline.
+// Map keys are emitted sorted (encoding/json's behaviour), so the
+// bytes are a deterministic function of the snapshot's contents. Nil
+// snapshots render as "null".
+func (s *Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // CounterNames returns the snapshot's counter names sorted

@@ -8,6 +8,7 @@ import (
 	"epoc/internal/faultclock"
 	"epoc/internal/linalg"
 	"epoc/internal/obs"
+	"epoc/internal/trace"
 )
 
 // GRAPEConfig tunes the optimizer.
@@ -37,6 +38,12 @@ type GRAPEConfig struct {
 	// reason counters (qoc/grape/stop/*), and a bounded per-iteration
 	// fidelity series under "qoc/grape/fidelity".
 	Obs *obs.Recorder
+
+	// Span, when non-nil, is the trace span of the pulse being
+	// optimized; the duration search hangs one "qoc/duration_probe"
+	// child span off it per probe, annotated with the probed slot
+	// count, achieved fidelity and iterations.
+	Span *trace.Span
 }
 
 func (c *GRAPEConfig) defaults() {
@@ -271,6 +278,26 @@ func ObserveProbes(r *obs.Recorder, run Runner) Runner {
 	}
 }
 
+// TraceProbes wraps a Runner so every duration-search probe records a
+// "qoc/duration_probe" child span under the pulse's span, annotated
+// with the probed slot count and the probe's achieved fidelity and
+// iteration count. Slot counts are unique per search (SearchDuration
+// memoizes probes), which keeps sibling probe spans canonically
+// orderable and traced compiles byte-identical across worker counts.
+// With a nil span the Runner is returned as-is.
+func TraceProbes(sp *trace.Span, run Runner) Runner {
+	if sp == nil {
+		return run
+	}
+	return func(slots int) Result {
+		psp := sp.Child("qoc/duration_probe").SetInt("slots", int64(slots))
+		defer psp.End()
+		res := run(slots)
+		psp.SetFloat("fidelity", res.Fidelity).SetInt("iters", int64(res.Iterations))
+		return res
+	}
+}
+
 // SearchDuration finds the smallest slot count in [minSlots, maxSlots]
 // whose fidelity reaches target, using binary search over the
 // quantized slot grid (the AccQOC strategy). It returns the best pulse
@@ -369,15 +396,15 @@ func SearchDuration(g *faultclock.Gate, minSlots, maxSlots, step int, target flo
 // DurationSearch is SearchDuration specialized to GRAPE.
 func DurationSearch(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg GRAPEConfig) Result {
 	cfg.defaults()
-	return SearchDuration(cfg.Gate, minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
+	return SearchDuration(cfg.Gate, minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, TraceProbes(cfg.Span, func(slots int) Result {
 		return GRAPE(m, target, slots, cfg)
-	}))
+	})))
 }
 
 // DurationSearchCRAB is SearchDuration specialized to CRAB.
 func DurationSearchCRAB(m *Model, target *linalg.Matrix, minSlots, maxSlots int, step int, cfg CRABConfig) Result {
 	cfg.defaults()
-	return SearchDuration(cfg.Gate, minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, func(slots int) Result {
+	return SearchDuration(cfg.Gate, minSlots, maxSlots, step, cfg.Target, ObserveProbes(cfg.Obs, TraceProbes(cfg.Span, func(slots int) Result {
 		return CRAB(m, target, slots, cfg)
-	}))
+	})))
 }

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -69,7 +70,18 @@ func RenderSnapshot(s *obs.Snapshot) string {
 			fmt.Fprintf(&b, ", %d dropped", s.EventsDropped)
 		}
 		b.WriteString(") ==\n")
-		for _, e := range s.Events {
+		// Events from concurrent workers land in the recorder in
+		// scheduling order; render them sorted by (stage, message) so a
+		// deterministic workload prints byte-stable -stats output at any
+		// worker count.
+		events := append([]obs.Event(nil), s.Events...)
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].Stage != events[j].Stage {
+				return events[i].Stage < events[j].Stage
+			}
+			return events[i].Msg < events[j].Msg
+		})
+		for _, e := range events {
 			fmt.Fprintf(&b, "  %-14s %s\n", e.Stage, e.Msg)
 		}
 	}

@@ -30,6 +30,26 @@ func TestRenderSnapshot(t *testing.T) {
 	}
 }
 
+// TestRenderSnapshotEventOrderStable pins the -stats byte-stability
+// fix: two recorders fed the same events in different orders (as
+// concurrent QOC workers would) must render identical bytes.
+func TestRenderSnapshotEventOrderStable(t *testing.T) {
+	events := []string{"slots=48 stop=target", "slots=24 stop=target", "slots=36 stop=max_iter"}
+	render := func(order []int) string {
+		r := obs.New()
+		r.Add("compiles", 1)
+		for _, i := range order {
+			r.Event("qoc/grape", events[i])
+		}
+		return RenderSnapshot(r.Snapshot())
+	}
+	a := render([]int{0, 1, 2})
+	b := render([]int{2, 0, 1})
+	if a != b {
+		t.Fatalf("rendered output depends on event insertion order:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestRenderSnapshotNil(t *testing.T) {
 	if got := RenderSnapshot(nil); got != "" {
 		t.Fatalf("nil snapshot rendered %q", got)

@@ -21,6 +21,19 @@ const (
 	CacheCoalesced
 )
 
+// String names the status for reports and trace attributes; the
+// coalesced case reads "wait" to contrast with a computing miss.
+func (s CacheStatus) String() string {
+	switch s {
+	case CacheHit:
+		return "hit"
+	case CacheCoalesced:
+		return "wait"
+	default:
+		return "miss"
+	}
+}
+
 // CacheTol bounds the verified phase distance between a requested
 // unitary and a stored entry (or, in the pipeline's duplicate-block
 // grouping, between two blocks sharing one synthesis). It is tighter

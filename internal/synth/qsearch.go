@@ -17,6 +17,7 @@ import (
 	"epoc/internal/linalg"
 	"epoc/internal/obs"
 	"epoc/internal/opt"
+	"epoc/internal/trace"
 )
 
 // placement is one CNOT in a QSearch template.
@@ -154,6 +155,14 @@ type Options struct {
 	// deadline it does not depend on wall-clock time, so budgeted
 	// compiles stay byte-identical across worker counts.
 	BudgetNodes int
+
+	// Span, when non-nil, receives the search's outcome as trace
+	// attributes (nodes expanded, CNOT count, achieved distance, stop
+	// reason). The caller owns the span's lifetime; QSearch only
+	// annotates it. Attribute values are deterministic functions of
+	// (unitary, Options), so traced compiles stay byte-identical across
+	// worker counts.
+	Span *trace.Span
 }
 
 func (o *Options) defaults(n int) {
@@ -232,6 +241,10 @@ func QSearch(target *linalg.Matrix, opts Options) Result {
 			r.Observe("synth/distance", res.Distance)
 			r.Observe("synth/cnots", float64(res.CNOTs))
 		}
+		opts.Span.SetInt("nodes", int64(res.Nodes)).
+			SetInt("cnots", int64(res.CNOTs)).
+			SetFloat("distance", res.Distance).
+			SetStr("stop", stopReason(res.Err))
 		return res
 	}
 
@@ -319,6 +332,18 @@ search:
 }
 
 func (n *node) cnots() int { return len(n.placements) }
+
+// stopReason classifies a search exit for the trace attribute.
+func stopReason(err error) string {
+	switch {
+	case err == nil:
+		return "completed"
+	case faultclock.IsBudget(err):
+		return "budget"
+	default:
+		return "canceled"
+	}
+}
 
 func orderedPairs(n int) []placement {
 	var out []placement
