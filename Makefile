@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race test-leak bench bench-json bench-gate fuzz ci
+.PHONY: all build vet lint test race test-leak bench bench-json bench-gate fuzz serve smoke-serve ci
 
 all: build vet lint test
 
@@ -56,4 +56,13 @@ bench-gate:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
 
-ci: build vet lint race test-leak
+# Run the compile service locally (see SERVING.md for the API).
+serve:
+	$(GO) run ./cmd/epoc-serve -addr localhost:8080
+
+# End-to-end smoke test of the running daemon: cold + warm compile,
+# event stream, observability endpoints, graceful SIGTERM drain.
+smoke-serve:
+	sh scripts/smoke_serve.sh
+
+ci: build vet lint race test-leak smoke-serve

@@ -1,6 +1,7 @@
 package epoc_test
 
 import (
+	"context"
 	"fmt"
 
 	"epoc"
@@ -81,6 +82,45 @@ func ExampleCompile_strategies() {
 	// Output:
 	// gate-based: 2135.5 ns
 	// epoc: 784.0 ns
+}
+
+// ExampleCompileContext compiles under a context and budgets. A
+// canceled context aborts with an error; an exhausted budget instead
+// degrades — here a one-node synthesis budget forces every block onto
+// its gate-level fallback, and the result reports why.
+func ExampleCompileContext() {
+	c, _ := epoc.Benchmark("ghz")
+	res, err := epoc.CompileContext(context.Background(), c, epoc.CompileOptions{
+		Strategy: epoc.StrategyEPOC,
+		Device:   epoc.LinearDevice(c.NumQubits),
+		Mode:     epoc.QOCEstimate,
+		Budgets:  epoc.Budgets{SynthNodes: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("degraded:", res.Degraded, res.DegradeReasons)
+	// Output: degraded: true [synth]
+}
+
+// ExampleNewRecorder attaches an observability recorder to a compile
+// and reads its counters from the snapshot.
+func ExampleNewRecorder() {
+	rec := epoc.NewRecorder()
+	c, _ := epoc.Benchmark("ghz")
+	_, err := epoc.Compile(c, epoc.CompileOptions{
+		Strategy: epoc.StrategyEPOC,
+		Device:   epoc.LinearDevice(c.NumQubits),
+		Mode:     epoc.QOCEstimate,
+		Obs:      rec,
+	})
+	if err != nil {
+		panic(err)
+	}
+	snap := rec.Snapshot()
+	fmt.Println("compiles:", snap.Counters["compiles"],
+		"cache misses:", snap.Counters["synthcache/miss"])
+	// Output: compiles: 1 cache misses: 1
 }
 
 // ExampleNewPulseLibrary shows pulse reuse across compilations.

@@ -407,7 +407,7 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 		o.totalDeadline = clock.Now().Add(o.Budgets.Total)
 	}
 	start := time.Now()
-	hits0, misses0 := o.Library.Hits, o.Library.Misses
+	hits0, misses0 := o.Library.Counts()
 	sp := o.Obs.Span("compile")
 	tsp := o.Trace.Start("compile").
 		SetStr("strategy", string(o.Strategy)).
@@ -446,10 +446,11 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 	} else {
 		o.Obs.Add("compile/completed", 1)
 	}
+	hits1, misses1 := o.Library.Counts()
 	if o.Obs != nil {
 		o.Obs.Add("compiles", 1)
-		o.Obs.Add("library/hits", int64(o.Library.Hits-hits0))
-		o.Obs.Add("library/misses", int64(o.Library.Misses-misses0))
+		o.Obs.Add("library/hits", int64(hits1-hits0))
+		o.Obs.Add("library/misses", int64(misses1-misses0))
 		o.Obs.Add("qoc/runs", int64(res.Stats.QOCRuns))
 		o.Obs.Add("pulses", int64(res.Stats.PulseCount))
 	}
@@ -463,7 +464,7 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 		decay := math.Exp(-float64(c.NumQubits) * res.Latency / o.Device.T2)
 		res.Fidelity *= decay
 	}
-	res.Stats.LibraryHits = o.Library.Hits
-	res.Stats.LibraryMisses = o.Library.Misses
+	res.Stats.LibraryHits = hits1
+	res.Stats.LibraryMisses = misses1
 	return res, nil
 }

@@ -1,8 +1,9 @@
-// Package debugsrv serves the live-debugging endpoint behind the
-// CLIs' -debug-addr flag: net/http/pprof's profiling handlers under
-// /debug/pprof, plus the process's expvar page at /debug/vars with the
-// attached obs recorder's counters published under "epoc". Watching a
-// long compile then needs no instrumentation beyond the flag:
+// Package debugsrv serves the live-debugging endpoints behind the
+// CLIs' -debug-addr flag and mounted into epoc-serve's request mux:
+// net/http/pprof's profiling handlers under /debug/pprof, plus the
+// process's expvar page at /debug/vars with the attached obs
+// recorder's counters published under "epoc". Watching a long compile
+// then needs no instrumentation beyond the flag:
 //
 //	epoc -in circuit.qasm -debug-addr localhost:6060 &
 //	go tool pprof http://localhost:6060/debug/pprof/profile
@@ -14,7 +15,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"sync/atomic"
 
 	"epoc/internal/obs"
@@ -37,6 +38,29 @@ func init() {
 	}))
 }
 
+// Register mounts the debug endpoints on mux — /debug/pprof/* and
+// /debug/vars — and attaches rec as the recorder behind the "epoc"
+// expvar key (nil is allowed and publishes an empty map). The expvar
+// binding is process-global: the last Register or Serve call wins,
+// which matches the one-server-per-process deployment shape.
+func Register(mux *http.ServeMux, rec *obs.Recorder) {
+	recorder.Store(rec)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// Handler returns a standalone mux carrying only the debug endpoints,
+// with rec attached as the expvar recorder.
+func Handler(rec *obs.Recorder) http.Handler {
+	mux := http.NewServeMux()
+	Register(mux, rec)
+	return mux
+}
+
 // Serve starts the debug HTTP server on addr, exposing /debug/pprof
 // and /debug/vars (with rec's counters under "epoc"; nil is allowed
 // and publishes an empty map). The listener is opened synchronously so
@@ -45,7 +69,7 @@ func init() {
 // flag's use — there is deliberately no Stop. It returns the bound
 // address, useful when addr held port 0.
 func Serve(addr string, rec *obs.Recorder) (string, error) {
-	recorder.Store(rec)
+	h := Handler(rec)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("debugsrv: %w", err)
@@ -53,7 +77,7 @@ func Serve(addr string, rec *obs.Recorder) (string, error) {
 	go func() {
 		// http.Serve only returns on listener failure; the process is
 		// exiting then and there is nobody to hand the error to.
-		_ = http.Serve(ln, nil)
+		_ = http.Serve(ln, h)
 	}()
 	return ln.Addr().String(), nil
 }

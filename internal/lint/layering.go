@@ -73,6 +73,17 @@ var layeringDAG = map[string][]string{
 		"internal/qoc", "internal/route", "internal/sim",
 		"internal/synth", "internal/trace", "internal/zx",
 	},
+
+	// The HTTP compile service sits above core: it is the in-process
+	// equivalent of a cmd/* entry point, packaged as a library so
+	// cmd/epoc-serve stays a flag-parsing shell and the handler suite
+	// tests against httptest.
+	"internal/serve": {
+		"internal/benchcirc", "internal/circuit", "internal/core",
+		"internal/debugsrv", "internal/faultclock", "internal/hardware",
+		"internal/obs", "internal/pulse", "internal/qasm",
+		"internal/report", "internal/synth", "internal/trace",
+	},
 }
 
 func runLayering(p *Pass) {

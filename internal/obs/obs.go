@@ -65,6 +65,7 @@ type Recorder struct {
 	samplesDropped int64
 	maxEvents      int
 	maxSeries      int
+	sink           func(Event)
 }
 
 // New returns an empty Recorder with the default trace bounds.
@@ -184,19 +185,41 @@ func (r *Recorder) recordDuration(name string, d time.Duration) {
 	r.mu.Unlock()
 }
 
-// Event records a trace event under a stage label. Events beyond the
-// bound are dropped and counted in Snapshot.EventsDropped.
-func (r *Recorder) Event(stage, msg string) {
+// SetSink registers fn to receive every Event as it is recorded,
+// including events past the snapshot bound (a live stream has no
+// reason to stop where the bounded buffer does). fn is called
+// synchronously from the recording goroutine, outside the recorder's
+// lock; it must be goroutine-safe and must not call back into the
+// Recorder. A nil fn detaches the sink. The progress-streaming
+// endpoint in internal/serve is the intended consumer.
+func (r *Recorder) SetSink(fn func(Event)) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// Event records a trace event under a stage label. Events beyond the
+// bound are dropped from the snapshot buffer (counted in
+// Snapshot.EventsDropped) but still delivered to the sink, if any.
+func (r *Recorder) Event(stage, msg string) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Stage: stage, Msg: msg}
+	r.mu.Lock()
 	if len(r.events) < r.maxEvents {
-		r.events = append(r.events, Event{Time: time.Now(), Stage: stage, Msg: msg})
+		r.events = append(r.events, ev)
 	} else {
 		r.eventsDropped++
 	}
+	sink := r.sink
 	r.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
 }
 
 // Eventf is Event with fmt.Sprintf formatting; the formatting only

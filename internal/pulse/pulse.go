@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"epoc/internal/linalg"
 )
@@ -121,10 +122,20 @@ func (s *Schedule) String() string {
 // equal up to a global phase share an entry, raising the hit rate.
 // Every hit is verified against the stored unitary, so fingerprint
 // collisions degrade to misses instead of wrong pulses.
+//
+// A Library is goroutine-safe and may be shared across concurrent
+// compilations (the long-lived server in internal/serve shares one
+// process-wide). Unlike synth.Cache it does not coalesce in-flight
+// work: two concurrent compiles that miss on the same unitary both
+// run QOC and both store — duplicate effort, never a wrong pulse.
+// The exported Hits/Misses fields are kept for single-goroutine
+// callers (CLIs, examples); concurrent readers must use Counts.
 type Library struct {
 	MatchGlobalPhase bool
-	entries          map[string][]libEntry
-	Hits, Misses     int
+
+	mu           sync.Mutex
+	entries      map[string][]libEntry
+	Hits, Misses int
 }
 
 type libEntry struct {
@@ -157,7 +168,8 @@ func (l *Library) key(u *linalg.Matrix) string {
 // collisions and are skipped.
 const matchTol = 1e-4
 
-// find returns the verified entry for u, if any.
+// find returns the verified entry for u, if any. The caller must hold
+// l.mu.
 func (l *Library) find(u *linalg.Matrix) (*Pulse, bool) {
 	for _, e := range l.entries[l.key(u)] {
 		if e.u.Rows != u.Rows {
@@ -178,6 +190,8 @@ func (l *Library) find(u *linalg.Matrix) (*Pulse, bool) {
 
 // Lookup returns the cached pulse for a unitary, counting hit/miss.
 func (l *Library) Lookup(u *linalg.Matrix) (*Pulse, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	p, ok := l.find(u)
 	if ok {
 		l.Hits++
@@ -190,6 +204,8 @@ func (l *Library) Lookup(u *linalg.Matrix) (*Pulse, bool) {
 // Peek reports whether a pulse is cached without touching the hit/miss
 // counters (used by prefill passes).
 func (l *Library) Peek(u *linalg.Matrix) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	_, ok := l.find(u)
 	return ok
 }
@@ -198,11 +214,15 @@ func (l *Library) Peek(u *linalg.Matrix) bool {
 // unitary for hit verification.
 func (l *Library) Store(u *linalg.Matrix, p *Pulse) {
 	k := l.key(u)
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.entries[k] = append(l.entries[k], libEntry{u: u.Clone(), p: p})
 }
 
 // Len returns the number of cached entries.
 func (l *Library) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
 	for _, es := range l.entries {
 		n += len(es)
@@ -210,8 +230,19 @@ func (l *Library) Len() int {
 	return n
 }
 
+// Counts returns the hit/miss totals under the library's lock — the
+// accessor concurrent compilations must use instead of reading the
+// Hits/Misses fields directly.
+func (l *Library) Counts() (hits, misses int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.Hits, l.Misses
+}
+
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
 func (l *Library) HitRate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	total := l.Hits + l.Misses
 	if total == 0 {
 		return 0
