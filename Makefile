@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race test-leak bench bench-json bench-gate fuzz serve smoke-serve ci
+.PHONY: all build vet lint test race test-leak bench bench-json bench-gate store-warm-gate fuzz serve smoke-serve ci
 
 all: build vet lint test
 
@@ -51,10 +51,24 @@ bench-json:
 bench-gate:
 	$(GO) run ./cmd/epoc-bench -suite small -baseline bench/baseline/BENCH_small.json
 
-# Native Go fuzzing of the QASM parser (bounded; CI runs the same
-# target for 30s on every push).
+# Store-warm gate: run the small suite in full-GRAPE mode twice over
+# one persistent store. Run 1 pays for GRAPE and populates the store;
+# run 2 must serve every pulse from disk (qoc_runs = 0, near-zero QOC
+# time) and is gated against the committed warm baseline. Refresh with:
+#   rm -rf /tmp/epoc-store && \
+#   go run ./cmd/epoc-bench -suite small -store /tmp/epoc-store && \
+#   go run ./cmd/epoc-bench -suite small -store /tmp/epoc-store -json bench/baseline
+store-warm-gate:
+	rm -rf $(CURDIR)/.store-warm
+	$(GO) run ./cmd/epoc-bench -suite small -store $(CURDIR)/.store-warm
+	$(GO) run ./cmd/epoc-bench -suite small -store $(CURDIR)/.store-warm \
+		-baseline bench/baseline/BENCH_small_warm.json
+
+# Native Go fuzzing of the QASM parser and the store record codec
+# (bounded; CI runs the same targets on every push).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
+	$(GO) test -run='^$$' -fuzz=FuzzStoreDecode -fuzztime=30s ./internal/store
 
 # Run the compile service locally (see SERVING.md for the API).
 serve:

@@ -15,12 +15,21 @@ import (
 	"epoc/internal/hardware"
 	"epoc/internal/pulse"
 	"epoc/internal/report"
+	"epoc/internal/store"
 )
 
 // budgetSpec holds the raw -stage-budget string for the artifact's
 // config fingerprint: budgets change the deterministic metrics, so two
 // artifacts are only comparable under the same spec.
 var budgetSpec string
+
+// storeRoot (set by the -store flag) switches the suite from estimate
+// to full-GRAPE mode backed by a persistent pulse/synth store: run 1
+// pays for GRAPE and populates the store, run 2 serves every pulse
+// from disk. The artifact is then named BENCH_<suite>_warm.json and
+// carries a store marker in its config so warm artifacts never
+// compare against estimate baselines.
+var storeRoot string
 
 // suiteCircuits maps a suite name to its circuit list. Suites run the
 // EPOC strategy in estimate mode: every gated metric is then a pure
@@ -52,6 +61,29 @@ func runSuite(suite string) (*report.BenchArtifact, error) {
 			"stage_budget": budgetSpec,
 		},
 	}
+	var shared *store.Store
+	if storeRoot != "" {
+		art.Config["mode"] = "full"
+		art.Config["store"] = "on"
+		// One store shared by every circuit in the suite: the namespace
+		// ignores qubit count, so a single open covers the whole set and
+		// per-compile harvest makes each circuit's pulses available to
+		// the next (and, after the final flush, to the next run).
+		st, err := core.OpenStore(storeRoot, core.Options{
+			Strategy: core.EPOC,
+			Device:   hardware.LinearChain(2),
+			Mode:     core.QOCFull,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", suite, err)
+		}
+		shared = st
+		defer func() {
+			if cerr := shared.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "epoc-bench: store close:", cerr)
+			}
+		}()
+	}
 	// The fingerprint hashes strategy + config exactly like a run
 	// manifest's, so the two artifact kinds agree on comparability.
 	art.ConfigFingerprint = (&report.Manifest{
@@ -64,13 +96,18 @@ func runSuite(suite string) (*report.BenchArtifact, error) {
 		if err != nil {
 			return nil, fmt.Errorf("suite %s: %w", suite, err)
 		}
-		res, err := compile(c, core.Options{
+		opts := core.Options{
 			Strategy: core.EPOC,
 			Device:   hardware.LinearChain(c.NumQubits),
 			Mode:     core.QOCEstimate,
 			Library:  pulse.NewLibrary(true),
 			Workers:  workerCount,
-		})
+		}
+		if shared != nil {
+			opts.Mode = core.QOCFull
+			opts.Store = shared
+		}
+		res, err := compile(c, opts)
 		if err != nil {
 			return nil, fmt.Errorf("suite %s, circuit %s: %w", suite, name, err)
 		}
@@ -89,7 +126,11 @@ func runSuite(suite string) (*report.BenchArtifact, error) {
 // optionally persist the artifact, optionally gate against a baseline.
 // It exits the process non-zero when the gate finds regressions.
 func runSuiteMode(suite, jsonDir, baselinePath string) {
-	fmt.Printf("== Suite %s (EPOC, estimate mode) ==\n", suite)
+	if storeRoot != "" {
+		fmt.Printf("== Suite %s (EPOC, full mode, store %s) ==\n", suite, storeRoot)
+	} else {
+		fmt.Printf("== Suite %s (EPOC, estimate mode) ==\n", suite)
+	}
 	art, err := runSuite(suite)
 	if err != nil {
 		fatalErr(err)
@@ -102,7 +143,11 @@ func runSuiteMode(suite, jsonDir, baselinePath string) {
 		if err := os.MkdirAll(jsonDir, 0o755); err != nil {
 			fatalErr(err)
 		}
-		path := filepath.Join(jsonDir, "BENCH_"+suite+".json")
+		name := "BENCH_" + suite
+		if storeRoot != "" {
+			name += "_warm"
+		}
+		path := filepath.Join(jsonDir, name+".json")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			fatalErr(err)
 		}

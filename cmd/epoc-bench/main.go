@@ -55,6 +55,7 @@ func main() {
 		suite      = flag.String("suite", "", "run a fixed benchmark suite (small | all) for -json/-baseline")
 		jsonDir    = flag.String("json", "", "with -suite: write the BENCH_<suite>.json artifact into this directory")
 		baseline   = flag.String("baseline", "", "with -suite: compare against this artifact and exit non-zero on regression")
+		storeFlag  = flag.String("store", "", "with -suite: run full GRAPE backed by a persistent pulse/synth store at this root (artifact becomes BENCH_<suite>_warm.json)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and expvar obs counters on this address while the run is live")
 	)
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 	}
 	benchBudgets = b
 	budgetSpec = *budgets
+	storeRoot = *storeFlag
 	if *debugAddr != "" {
 		benchObs = obs.New()
 		addr, err := debugsrv.Serve(*debugAddr, benchObs)

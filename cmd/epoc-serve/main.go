@@ -42,10 +42,11 @@ func main() {
 		maxQubits       = flag.Int("max-qubits", 256, "reject circuits wider than this")
 		maxBody         = flag.Int64("max-body-bytes", 1<<20, "request body size cap")
 		noDebug         = flag.Bool("no-debug", false, "do not mount /debug/pprof and /debug/vars on the service mux")
+		storePath       = flag.String("store", "", "persistent pulse/synth store root: warm the caches from it at startup, flush new entries after every compile")
 	)
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CompileWorkers:  *compileWorkers,
@@ -55,7 +56,11 @@ func main() {
 		MaxQubits:       *maxQubits,
 		MaxBodyBytes:    *maxBody,
 		Debug:           !*noDebug,
+		StorePath:       *storePath,
 	})
+	if err != nil {
+		fatal(err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

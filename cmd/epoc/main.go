@@ -55,6 +55,7 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON span trace to this file (load in Perfetto or chrome://tracing)")
 		reportOut  = flag.String("report", "", "write a machine-readable run manifest (metrics, obs snapshot, trace summary, config fingerprint) to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/pprof and expvar obs counters on this address while compiling (e.g. localhost:6060)")
+		storePath  = flag.String("store", "", "persistent pulse/synth store root: reuse pulses from earlier runs, warm-start GRAPE from near matches, flush new entries on exit")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		GRAPEIters: *grape,
 		Workers:    *workers,
 		Budgets:    b,
+		StorePath:  *storePath,
 	}
 	var rec *obs.Recorder
 	if *stats || *reportOut != "" {

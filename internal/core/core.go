@@ -23,8 +23,10 @@ import (
 	"epoc/internal/circuit"
 	"epoc/internal/faultclock"
 	"epoc/internal/hardware"
+	"epoc/internal/linalg"
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
+	"epoc/internal/store"
 	"epoc/internal/synth"
 	"epoc/internal/trace"
 )
@@ -126,6 +128,29 @@ type Options struct {
 	// created per compile.
 	SynthCache *synth.Cache
 
+	// Store attaches an opened persistent store (internal/store) shared
+	// across compiles: the library and synthesis cache are warmed from
+	// it before the pipeline runs and new entries are harvested and
+	// flushed after. The store's namespace must match this
+	// configuration's (core.StoreNamespace); a mismatched store is
+	// ignored for the compile — never read, never written — because its
+	// records were produced under different physics or tuning.
+	Store *store.Store
+
+	// StorePath, when Store is nil, opens a per-compile store under
+	// this root directory (namespace derived from the options) and
+	// closes it after the compile — the one-shot CLI convenience.
+	// Long-lived processes should open once and share via Store.
+	StorePath string
+
+	// WarmStart seeds GRAPE from the nearest stored library entry (by
+	// phase-invariant similarity, internal/qoc/similarity.go) on a
+	// library miss, instead of a cold random start. nil defaults to
+	// true when a store is attached, false otherwise. Warm candidates
+	// are snapshotted once at QOC-stage entry, so results stay
+	// byte-identical at any worker count.
+	WarmStart *bool
+
 	// Workers sets the number of goroutines used for block synthesis
 	// and for QOC on distinct block unitaries (default 1; >1 helps on
 	// multi-core machines). Results are collected by block index, so
@@ -194,6 +219,12 @@ type Options struct {
 	compileSpan *trace.Span
 	synthSpan   *trace.Span
 	qocSpan     *trace.Span
+	// warmCands/warmUs are the warm-start candidate snapshot taken at
+	// stage-5 entry (see snapshotWarmCands): the exported library
+	// entries, and a parallel matrix slice with nil holes for entries
+	// without raw amplitudes, shaped for qoc.Nearest.
+	warmCands []pulse.Entry
+	warmUs    []*linalg.Matrix
 }
 
 // stageSpan pairs a stage's aggregate obs timer with its trace span so
@@ -307,6 +338,10 @@ func (o *Options) withDefaults() Options {
 	if out.SynthCache == nil {
 		out.SynthCache = synth.NewCache()
 	}
+	if out.WarmStart == nil {
+		warm := out.Store != nil || out.StorePath != ""
+		out.WarmStart = &warm
+	}
 	return out
 }
 
@@ -324,6 +359,7 @@ type Stats struct {
 	SynthCacheMisses int // eligible blocks that ran a fresh synthesis
 	PulseCount       int
 	QOCRuns          int // GRAPE duration searches actually executed
+	WarmStarts       int // QOC runs seeded from a similar stored pulse
 	LibraryHits      int
 	LibraryMisses    int
 	SynthDegraded    int // blocks whose synthesis stopped on a budget
@@ -337,7 +373,11 @@ type Result struct {
 	Latency     float64 // ns
 	Fidelity    float64 // ESP (Equation 3)
 	CompileTime time.Duration
-	Stats       Stats
+	// QOCTime is the wall time of stage 5 (pulse optimization +
+	// scheduling): the cost a warm store is supposed to erase. The
+	// store-warm CI gate tracks it as qoc_time_ns.
+	QOCTime time.Duration
+	Stats   Stats
 
 	// Lowered is the gate-level circuit the QOC stage consumed, before
 	// regrouping: synthesized VUGs + CNOTs for EPOC flows, unitary
@@ -378,6 +418,8 @@ func (r *Result) MetricMap() map[string]float64 {
 		"cnots":           float64(r.Stats.CNOTsAfter),
 		"synth_fallbacks": float64(r.Stats.SynthFallback),
 		"qoc_runs":        float64(r.Stats.QOCRuns),
+		"qoc_time_ns":     float64(r.QOCTime.Nanoseconds()),
+		"warm_starts":     float64(r.Stats.WarmStarts),
 		"degraded":        degraded,
 	}
 }
@@ -415,10 +457,18 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 		SetInt("gates", int64(c.Len()))
 	defer tsp.End()
 	o.compileSpan = tsp
-	var (
-		res *Result
-		err error
-	)
+	ownedStore, err := attachStore(&o)
+	if err != nil {
+		return nil, err
+	}
+	if ownedStore != nil {
+		defer func() {
+			if cerr := ownedStore.Close(); cerr != nil {
+				o.Obs.Add("store/flush_errors", 1)
+			}
+		}()
+	}
+	var res *Result
 	switch o.Strategy {
 	case GateBased:
 		res, err = compileGateBased(c, o)
@@ -454,6 +504,10 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 		o.Obs.Add("qoc/runs", int64(res.Stats.QOCRuns))
 		o.Obs.Add("pulses", int64(res.Stats.PulseCount))
 	}
+	// Persist what this compile learned. Degradation doesn't block the
+	// harvest: degraded pulses and budget-stopped syntheses were never
+	// stored in the in-memory caches, so everything exported is clean.
+	harvestStore(&o)
 	res.Strategy = o.Strategy
 	res.CompileTime = time.Since(start)
 	res.Latency = res.Schedule.Latency

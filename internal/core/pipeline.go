@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"epoc/internal/circuit"
 	"epoc/internal/faultclock"
@@ -182,9 +183,18 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 	if err := g.Check(faultclock.SiteStageQOC); err != nil && !faultclock.IsBudget(err) {
 		return nil, err
 	}
+	qocStart := time.Now()
 	o.qocGate = o.stageGate(o.Budgets.QOCTime)
 	sp = o.beginStage("stage/qoc")
 	o.qocSpan = sp.tr
+	// Freeze the warm-start candidate set before any worker runs: every
+	// pulse in this compile selects its neighbour from the same
+	// snapshot, so the choice — and therefore the output — cannot
+	// depend on worker scheduling. AccQOC keeps its own MST warm-start
+	// policy.
+	if o.Mode == QOCFull && *o.WarmStart && o.Strategy != AccQOC {
+		snapshotWarmCands(&o)
+	}
 	if o.Mode == QOCFull {
 		if o.Strategy == AccQOC {
 			if err := mstPrefill(pulsed, o, &res.Stats); err != nil {
@@ -221,6 +231,7 @@ func compileQOC(c *circuit.Circuit, o Options) (*Result, error) {
 		res.Stats.PulseCount++
 	}
 	sp.End()
+	res.QOCTime = time.Since(qocStart)
 	return res, nil
 }
 
@@ -472,6 +483,7 @@ func prefillLibrary(pulsed *circuit.Circuit, o Options, st *Stats) error {
 		}
 		o.Library.Store(jobs[d.idx].u, d.p)
 		st.QOCRuns += d.st.QOCRuns
+		st.WarmStarts += d.st.WarmStarts
 	}
 	return canceled
 }
@@ -539,9 +551,25 @@ func log2(dim int) int {
 }
 
 // pulseFor produces a pulse for one block unitary, via GRAPE or the
-// calibrated estimator.
+// calibrated estimator. With a warm-candidate snapshot in place (see
+// snapshotWarmCands) it seeds the optimizer from the nearest stored
+// neighbour's amplitudes — the AccQOC similarity-reuse idea, driven by
+// the persistent store instead of an MST over the current batch. The
+// snapshot was taken before any of this compile's pulses ran, so the
+// selection is a pure function of (snapshot, u) and worker-count
+// invariant. Exact matches never reach here: they were served by the
+// library lookup or skipped by the prefill's Peek.
 func pulseFor(u *linalg.Matrix, op circuit.Op, o Options, st *Stats) (*pulse.Pulse, error) {
-	return pulseForWarm(u, op, o, st, nil)
+	var warm [][]float64
+	if len(o.warmUs) > 0 && o.Mode == QOCFull {
+		if idx, dist := qoc.Nearest(o.warmUs, u, warmStartMaxDist); idx >= 0 {
+			warm = o.warmCands[idx].P.Amps
+			st.WarmStarts++
+			o.Obs.Add("qoc/warmstart", 1)
+			o.Obs.Observe("qoc/warmstart/distance", dist)
+		}
+	}
+	return pulseForWarm(u, op, o, st, warm)
 }
 
 // pulseForWarm is pulseFor with an optional GRAPE warm start.
@@ -613,8 +641,17 @@ func pulseForWarm(u *linalg.Matrix, op circuit.Op, o Options, st *Stats, warm []
 		}
 	}
 	tsp.SetInt("slots", int64(r.Slots)).
+		SetInt("iterations", int64(r.Iterations)).
 		SetFloat("duration_ns", r.Duration).
 		SetFloat("infidelity", 1-r.Fidelity)
+	// Warm vs cold iteration counts land in separate distributions, so
+	// a run's obs snapshot shows the warm-start savings directly.
+	if warm != nil {
+		tsp.SetBool("warm", true)
+		o.Obs.Observe("qoc/warmstart/iterations", float64(r.Iterations))
+	} else {
+		o.Obs.Observe("qoc/coldstart/iterations", float64(r.Iterations))
+	}
 	if r.Err != nil {
 		if !faultclock.IsBudget(r.Err) {
 			tsp.SetStr("stop", "canceled")

@@ -65,13 +65,22 @@ var layeringDAG = map[string][]string{
 	"internal/report":   {"internal/obs", "internal/trace"},
 	"internal/synth":    {"internal/circuit", "internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize", "internal/trace"},
 
+	// Persistence for the pulse library and synthesis cache: sits beside
+	// the caches it serializes, plus report for the namespace
+	// fingerprint. core and serve sit above it; it never imports them.
+	"internal/store": {
+		"internal/circuit", "internal/gate", "internal/linalg",
+		"internal/pulse", "internal/report", "internal/synth",
+	},
+
 	// The pipeline orchestrator sits on top of everything.
 	"internal/core": {
 		"internal/circuit", "internal/faultclock", "internal/gate",
 		"internal/hardware", "internal/linalg", "internal/obs",
 		"internal/optimize", "internal/partition", "internal/pulse",
 		"internal/qoc", "internal/route", "internal/sim",
-		"internal/synth", "internal/trace", "internal/zx",
+		"internal/store", "internal/synth", "internal/trace",
+		"internal/zx",
 	},
 
 	// The HTTP compile service sits above core: it is the in-process
@@ -82,7 +91,8 @@ var layeringDAG = map[string][]string{
 		"internal/benchcirc", "internal/circuit", "internal/core",
 		"internal/debugsrv", "internal/faultclock", "internal/hardware",
 		"internal/obs", "internal/pulse", "internal/qasm",
-		"internal/report", "internal/synth", "internal/trace",
+		"internal/report", "internal/store", "internal/synth",
+		"internal/trace",
 	},
 }
 

@@ -219,6 +219,54 @@ func (l *Library) Store(u *linalg.Matrix, p *Pulse) {
 	l.entries[k] = append(l.entries[k], libEntry{u: u.Clone(), p: p})
 }
 
+// Entry is one exported library entry: the unitary and its pulse, as
+// handed to the persistent store (internal/store) and the warm-start
+// candidate snapshot in core.
+type Entry struct {
+	U *linalg.Matrix
+	P *Pulse
+}
+
+// Export snapshots every entry, sorted by fingerprint key (collision
+// chains keep insertion order). The deterministic order is load-bearing:
+// the warm-start selector and the store's harvest both iterate it, and
+// both must behave identically at any worker count.
+func (l *Library) Export() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.entries))
+	for k := range l.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Entry
+	for _, k := range keys {
+		for _, e := range l.entries[k] {
+			out = append(out, Entry{U: e.u, P: e.p})
+		}
+	}
+	return out
+}
+
+// Import stores a pulse unless a verified-equal entry already exists,
+// reporting whether it was added. Unlike Store it re-keys the unitary
+// under this library's own keying scheme, so records persisted by a
+// MatchGlobalPhase library import correctly into a non-matching one
+// and vice versa. It never touches the hit/miss counters.
+func (l *Library) Import(u *linalg.Matrix, p *Pulse) bool {
+	if u == nil || p == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.find(u); ok {
+		return false
+	}
+	k := l.key(u)
+	l.entries[k] = append(l.entries[k], libEntry{u: u.Clone(), p: p})
+	return true
+}
+
 // Len returns the number of cached entries.
 func (l *Library) Len() int {
 	l.mu.Lock()

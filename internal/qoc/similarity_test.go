@@ -1,0 +1,87 @@
+package qoc
+
+import (
+	"testing"
+
+	"epoc/internal/gate"
+	"epoc/internal/linalg"
+)
+
+func TestNearestDeterministicTieBreak(t *testing.T) {
+	target := gate.New(gate.RX, 0.5).Matrix()
+	near := gate.New(gate.RX, 0.52).Matrix()
+	// Two identical candidates: the lowest index must win, every time.
+	cands := []*linalg.Matrix{near, near.Clone()}
+	idx, dist := Nearest(cands, target, 0.75)
+	if idx != 0 {
+		t.Fatalf("tie broke to index %d, want 0", idx)
+	}
+	if dist <= 0 || dist > 0.75 {
+		t.Fatalf("distance %g out of range", dist)
+	}
+}
+
+func TestNearestSkipsUnusableCandidates(t *testing.T) {
+	target := gate.New(gate.RX, 0.5).Matrix()
+	cands := []*linalg.Matrix{
+		nil,                        // entry without raw amplitudes
+		gate.New(gate.CX).Matrix(), // wrong dimension
+		gate.New(gate.RX, 3.0).Matrix(),
+	}
+	// RX(3.0) is far from RX(0.5): beyond maxDist nothing qualifies.
+	if idx, _ := Nearest(cands, target, 0.1); idx != -1 {
+		t.Fatalf("distant candidate accepted at index %d", idx)
+	}
+	// With a permissive bound the in-dimension candidate wins.
+	if idx, _ := Nearest(cands, target, 2); idx != 2 {
+		t.Fatalf("nearest index %d, want 2", idx)
+	}
+}
+
+// TestWarmStartConvergesNoWorseThanCold is the library-fixture
+// contract behind the persistent store's warm starts: seeding GRAPE
+// from a converged neighbour's amplitudes must reach the fidelity
+// target at least as fast as a cold random start, and never converge
+// below it when the cold run reaches it.
+func TestWarmStartConvergesNoWorseThanCold(t *testing.T) {
+	m := StandardModel(1, ModelOptions{})
+	cfg := GRAPEConfig{MaxIter: 300, Target: 0.999, Seed: 1}
+	const slots = 8
+
+	// The stored neighbour: a converged pulse for RX(0.5).
+	neighbour := GRAPE(m, gate.New(gate.RX, 0.5).Matrix(), slots, cfg)
+	if neighbour.Fidelity < cfg.Target {
+		t.Fatalf("fixture did not converge: fidelity %g", neighbour.Fidelity)
+	}
+
+	// The new request: RX(0.55) — close, but outside exact-match reach.
+	target := gate.New(gate.RX, 0.55).Matrix()
+	cold := GRAPE(m, target, slots, cfg)
+	warm := WarmStartGRAPE(m, target, slots, neighbour.Amps, cfg)
+
+	if cold.Fidelity >= cfg.Target && warm.Fidelity < cfg.Target {
+		t.Fatalf("warm start converged below target: warm %g, cold %g", warm.Fidelity, cold.Fidelity)
+	}
+	if warm.Fidelity < cold.Fidelity-1e-3 {
+		t.Fatalf("warm fidelity %g grossly below cold %g", warm.Fidelity, cold.Fidelity)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm start needed %d iterations, cold needed %d — no savings",
+			warm.Iterations, cold.Iterations)
+	}
+	t.Logf("cold: %d iters, fidelity %.6f; warm: %d iters, fidelity %.6f",
+		cold.Iterations, cold.Fidelity, warm.Iterations, warm.Fidelity)
+}
+
+// TestWarmStartEmptyAmpsFallsBackToCold: an entry without raw
+// amplitudes degrades to a plain GRAPE run, bit-identically.
+func TestWarmStartEmptyAmpsFallsBackToCold(t *testing.T) {
+	m := StandardModel(1, ModelOptions{})
+	cfg := GRAPEConfig{MaxIter: 50, Target: 0.999, Seed: 1}
+	target := gate.New(gate.RX, 0.7).Matrix()
+	a := GRAPE(m, target, 8, cfg)
+	b := WarmStartGRAPE(m, target, 8, nil, cfg)
+	if a.Fidelity != b.Fidelity || a.Iterations != b.Iterations {
+		t.Fatalf("nil warm start diverged from cold: %+v vs %+v", a, b)
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"epoc/internal/circuit"
 	"epoc/internal/core"
 	"epoc/internal/obs"
+	"epoc/internal/pulse"
 	"epoc/internal/qasm"
 	"epoc/internal/report"
+	"epoc/internal/synth"
 	"epoc/internal/trace"
 )
 
@@ -130,6 +132,7 @@ type HealthResponse struct {
 type StatsResponse struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Cache    CacheTotals      `json:"cache"`
+	Store    *StoreTotals     `json:"store,omitempty"` // nil when no -store is configured
 	Queue    QueueStats       `json:"queue"`
 	Circuits []string         `json:"circuits"`
 }
@@ -143,6 +146,22 @@ type CacheTotals struct {
 	LibraryEntries int   `json:"library_entries"`
 	LibraryHits    int   `json:"library_hits"`
 	LibraryMisses  int   `json:"library_misses"`
+}
+
+// StoreTotals is the persistent store's accounting in /v1/stats: what
+// was on disk at startup, what this process has learned and flushed,
+// and what was skipped as corrupt — the restart-warmness dashboard.
+type StoreTotals struct {
+	Namespace      string `json:"namespace"`
+	Dir            string `json:"dir"`
+	PulseRecords   int    `json:"pulse_records"` // loaded at startup
+	SynthRecords   int    `json:"synth_records"`
+	WarmPulses     int64  `json:"warm_pulses"` // imported into the caches
+	WarmSynth      int64  `json:"warm_synth"`
+	PulseHarvested int64  `json:"pulse_harvested"` // new records staged this process
+	SynthHarvested int64  `json:"synth_harvested"`
+	Flushed        int64  `json:"flushed"` // records written to disk
+	Corrupt        int64  `json:"corrupt"` // files skipped at startup
 }
 
 // QueueStats is the admission-control state in /v1/stats.
@@ -269,8 +288,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	snap := s.rec.Snapshot()
+	var st *StoreTotals
+	if s.store != nil {
+		c := s.store.Counters()
+		pn, sn := s.store.Len()
+		st = &StoreTotals{
+			Namespace:      s.store.Namespace(),
+			Dir:            s.store.Dir(),
+			PulseRecords:   pn,
+			SynthRecords:   sn,
+			WarmPulses:     c.WarmPulses,
+			WarmSynth:      c.WarmSynth,
+			PulseHarvested: c.PulseHarvested,
+			SynthHarvested: c.SynthHarvested,
+			Flushed:        c.Flushed,
+			Corrupt:        c.Corrupt,
+		}
+	}
 	writeJSON(w, http.StatusOK, &StatsResponse{
 		Counters: snap.Counters,
+		Store:    st,
 		Cache: CacheTotals{
 			SynthEntries:   s.cache.Len(),
 			SynthHits:      s.cache.Hits(),
@@ -378,7 +415,11 @@ func (s *Server) buildOptions(ro *RequestOptions, circ *circuit.Circuit) (core.O
 		Workers:    s.cfg.CompileWorkers,
 		SynthCache: s.cache,
 		Library:    s.lib,
-		Clock:      s.cfg.Clock,
+		// The shared store, when configured. core checks the namespace
+		// per compile: a request whose options diverge from the server
+		// defaults skips the store instead of polluting it.
+		Store: s.store,
+		Clock: s.cfg.Clock,
 	}
 	switch ro.Strategy {
 	case "":
@@ -422,6 +463,15 @@ func (s *Server) buildOptions(ro *RequestOptions, circ *circuit.Circuit) (core.O
 			return core.Options{}, badRequest(fmt.Sprintf("invalid budgets: %v", err))
 		}
 		opts.Budgets = b
+	}
+	// A request whose options leave the store's namespace must not
+	// share the in-memory caches either: its pulses would otherwise be
+	// library-hit by a later matched compile and harvested into a
+	// namespace whose physics they don't satisfy. Give it throwaway
+	// caches; core drops the store itself on the same mismatch.
+	if s.store != nil && core.StoreNamespace(opts) != s.store.Namespace() {
+		opts.SynthCache = synth.NewCache()
+		opts.Library = pulse.NewLibrary(true)
 	}
 	return opts, nil
 }

@@ -43,6 +43,7 @@ import (
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/report"
+	"epoc/internal/store"
 	"epoc/internal/synth"
 	"epoc/internal/trace"
 )
@@ -80,6 +81,18 @@ type Config struct {
 	// MaxQubits rejects circuits wider than this before they reach the
 	// queue (default 256).
 	MaxQubits int
+
+	// StorePath, when set, backs the process-wide caches with the
+	// persistent store (internal/store) rooted at this directory: the
+	// library and synthesis cache warm from disk at startup, every
+	// compile's new entries are harvested and flushed, and Shutdown
+	// closes the store — so a restarted daemon answers repeat circuits
+	// from disk without rerunning GRAPE. Requests whose options diverge
+	// from the server defaults (different grape_iters, seed, mode, …)
+	// fall outside the store's namespace and simply skip it for that
+	// compile. Multiple daemons may share one path: records are
+	// content-addressed and flushes take an advisory flock.
+	StorePath string
 
 	// Debug mounts /debug/pprof and /debug/vars on the server's mux
 	// with the server-wide recorder behind the "epoc" expvar key.
@@ -132,6 +145,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cache *synth.Cache   // process-wide synthesis cache (goroutine-safe, coalescing)
 	lib   *pulse.Library // process-wide pulse library (goroutine-safe)
+	store *store.Store   // persistent backing for both caches; nil without Config.StorePath
 	rec   *obs.Recorder  // server-wide counters: serve/*, plus expvar export
 
 	queue chan *job
@@ -154,8 +168,11 @@ type Server struct {
 
 // New builds a Server and starts its worker pool. The caller owns the
 // HTTP listener (http.Server{Handler: s.Handler()}); Shutdown drains
-// compiles independently of the listener's lifecycle.
-func New(cfg Config) *Server {
+// compiles independently of the listener's lifecycle. With
+// Config.StorePath set, New opens the persistent store and warms the
+// process-wide caches from it before the first request; an unopenable
+// store fails construction rather than silently serving cold.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -168,6 +185,15 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		compile: core.CompileContext,
 	}
+	if cfg.StorePath != "" {
+		st, err := core.OpenStore(cfg.StorePath, s.defaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("serve: open store: %w", err)
+		}
+		s.store = st
+		s.rec.Add("serve/store/warm_pulses", int64(st.WarmLibrary(s.lib)))
+		s.rec.Add("serve/store/warm_synth", int64(st.WarmSynthCache(s.cache)))
+	}
 	s.routes()
 	if cfg.Debug {
 		debugsrv.Register(s.mux, s.rec)
@@ -176,7 +202,21 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// defaultOptions is the core configuration of a request that sets no
+// options — the configuration the store namespace is derived from.
+// The probe circuit's width is irrelevant: the namespace deliberately
+// excludes qubit count (pulses are per-block).
+func (s *Server) defaultOptions() core.Options {
+	opts, apiErr := s.buildOptions(&RequestOptions{}, circuit.New(2))
+	if apiErr != nil {
+		// Empty request options cannot fail validation; reaching here is
+		// a bug in buildOptions itself.
+		panic(fmt.Sprintf("serve: default options rejected: %v", apiErr.Message))
+	}
+	return opts
 }
 
 // Handler returns the server's mux: the /v1 API plus, when
@@ -417,7 +457,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.closeStore()
 	case <-ctx.Done():
 		s.mu.Lock()
 		for _, j := range s.jobs {
@@ -425,8 +465,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		_ = s.closeStore()
 		return ctx.Err()
 	}
+}
+
+// closeStore flushes and closes the persistent store. It deliberately
+// does NOT harvest the process-wide caches here: they may hold entries
+// computed under per-request option overrides (namespace-mismatched
+// compiles share the in-memory caches but must never reach the store),
+// and only the per-compile harvest knows the compile's options matched
+// the namespace. The cost is losing the partial learning of compiles
+// canceled mid-drain, which is the safe side of the trade.
+func (s *Server) closeStore() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // Draining reports whether Shutdown has begun.

@@ -38,7 +38,10 @@ func okResult() *core.Result {
 // (nil keeps the real pipeline), and tears it down with the test.
 func newTestServer(t *testing.T, cfg Config, fn compileFunc) *Server {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	if fn != nil {
 		s.compile = fn
 	}
@@ -326,7 +329,10 @@ func TestSharedCacheWarmSecondRequest(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.compile = func(ctx context.Context, c *circuit.Circuit, opts core.Options) (*core.Result, error) {
 		close(started)
 		select {
@@ -378,7 +384,10 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // Shutdown still joins the pool before returning the context error.
 func TestShutdownDeadlineAbortsInflight(t *testing.T) {
 	started := make(chan struct{})
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	s.compile = func(ctx context.Context, c *circuit.Circuit, opts core.Options) (*core.Result, error) {
 		close(started)
 		<-ctx.Done()

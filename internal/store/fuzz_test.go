@@ -1,0 +1,63 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"epoc/internal/gate"
+)
+
+// FuzzStoreDecode throws arbitrary bytes at the record decoder: it
+// must never panic, and anything it accepts must be a fully-formed
+// record the caches could import — the same no-poisoning contract the
+// corruption tests check deterministically. Registered in `make fuzz`
+// and the CI fuzz step next to FuzzParse.
+func FuzzStoreDecode(f *testing.F) {
+	// Seeds: one valid record of each kind, plus structured damage the
+	// deterministic tests already know is interesting.
+	up, p := testPulse(0)
+	if _, data, err := EncodePulseRecord(up, p); err == nil {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-2] ^= 1
+		f.Add(flipped)
+		f.Add([]byte(strings.Replace(string(data), Magic+" 1 ", Magic+" 2 ", 1)))
+	}
+	ucx := gate.New(gate.CX).Matrix()
+	if _, data, err := EncodeSynthRecord(ucx, cxCircuit(), true); err == nil {
+		f.Add(data)
+	}
+	if _, data, err := EncodeSynthRecord(ucx, nil, false); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte(Magic + " 1 pulse 0 e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		// Accepted records must uphold the decoder's invariants.
+		if rec.U == nil || rec.U.Rows != rec.U.Cols || rec.U.Rows > maxDim {
+			t.Fatalf("accepted record with bad unitary: %+v", rec)
+		}
+		switch rec.Kind {
+		case KindPulse:
+			if rec.Pulse == nil || len(rec.Pulse.Label) > maxLabelLen {
+				t.Fatalf("accepted malformed pulse record: %+v", rec)
+			}
+		case KindSynth:
+			if rec.Circ != nil {
+				for _, op := range rec.Circ.Ops {
+					if _, fixed := gate.Registry[op.G.Kind]; !fixed {
+						t.Fatalf("accepted circuit with unregistered gate %q", op.G.Kind)
+					}
+				}
+			}
+		default:
+			t.Fatalf("accepted unknown kind %q", rec.Kind)
+		}
+	})
+}

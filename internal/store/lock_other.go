@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+// lockDir is a no-op on platforms without flock. Correctness does not
+// depend on it — records are content-addressed and written via
+// temp-file + rename — the lock only serializes concurrent flushers'
+// temp-file churn on platforms that support it.
+func lockDir(dir string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,33 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/.lock, serializing
+// flushes across processes sharing one namespace directory. Content
+// addressing already makes concurrent writes of identical records
+// benign; the lock closes the remaining window where two processes
+// interleave temp-file churn, and is the single-writer guard the serve
+// layer's shared-store deployments rely on. The returned func releases
+// the lock.
+func lockDir(dir string) (func(), error) {
+	f, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	return func() {
+		// Closing the descriptor releases the flock even if the explicit
+		// unlock failed, so neither error can wedge the directory.
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"sort"
 	"sync"
 
 	"epoc/internal/circuit"
@@ -170,6 +171,64 @@ func (c *Cache) remove(key string, target *cacheEntry) {
 			return
 		}
 	}
+}
+
+// Entry is one exported cache entry: the unitary, its synthesized
+// circuit (nil when none was usable) and the threshold outcome — the
+// unit the persistent store (internal/store) serializes.
+type Entry struct {
+	U    *linalg.Matrix
+	Circ *circuit.Circuit
+	Ok   bool
+}
+
+// Export snapshots every *completed* entry, sorted by fingerprint key.
+// In-flight entries are skipped without waiting: a harvest runs at
+// compile boundaries and must not block on another compile's synthesis.
+func (c *Cache) Export() []Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Entry
+	for _, k := range keys {
+		for _, e := range c.entries[k] {
+			select {
+			case <-e.done:
+				out = append(out, Entry{U: e.u, Circ: e.circ, Ok: e.ok})
+			default:
+			}
+		}
+	}
+	return out
+}
+
+// Import seeds the cache with a completed synthesis result unless a
+// verified-equal entry already exists, reporting whether it was added.
+// It never touches the hit/miss counters: warming a cache from disk is
+// not a lookup.
+func (c *Cache) Import(u *linalg.Matrix, circ *circuit.Circuit, ok bool) bool {
+	if c == nil || u == nil {
+		return false
+	}
+	key := linalg.Fingerprint(u)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries[key] {
+		if e.u.Rows == u.Rows && linalg.PhaseDistance(e.u, u) < CacheTol {
+			return false // present (completed or in flight — either way, not ours to replace)
+		}
+	}
+	e := &cacheEntry{u: u.Clone(), done: make(chan struct{}), circ: circ, ok: ok}
+	close(e.done)
+	c.entries[key] = append(c.entries[key], e)
+	return true
 }
 
 // Len returns the number of distinct unitary classes stored.
