@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race test-leak bench bench-json bench-gate store-warm-gate fuzz serve smoke-serve ci
+.PHONY: all build vet lint lint-fixtures test race test-leak bench bench-json bench-gate store-warm-gate fuzz serve smoke-serve ci
 
 all: build vet lint test
 
@@ -10,12 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (cmd/epoc-lint): numerical and
-# concurrency invariants — float equality, global rand, import DAG,
-# unchecked in-module errors, copied locks, discarded contexts. See
-# DESIGN.md §8.
+# Project-specific static analysis (cmd/epoc-lint): the full
+# 11-analyzer suite — float equality, global rand, import DAG,
+# unchecked in-module errors, copied locks, discarded contexts,
+# unended spans, plus the dataflow analyzers (map-order determinism,
+# lock-guarded fields, goroutine joins, hot-loop allocations). Exit
+# codes: 0 clean, 1 findings, 2 load error. See DESIGN.md §8 and §13.
 lint:
 	$(GO) run ./cmd/epoc-lint ./...
+
+# The lint framework's own tests: analyzer fixtures under
+# internal/lint/testdata, CFG unit tests, the repo self-check, and the
+# CLI exit-code contract.
+lint-fixtures:
+	$(GO) test -timeout 5m ./internal/lint/... ./cmd/epoc-lint/...
 
 # An explicit -timeout so a cancellation/budget regression hangs the
 # suite for at most 5 minutes instead of the Go default 10.
@@ -79,4 +87,4 @@ serve:
 smoke-serve:
 	sh scripts/smoke_serve.sh
 
-ci: build vet lint race test-leak smoke-serve
+ci: build vet lint lint-fixtures race test-leak smoke-serve

@@ -1,21 +1,32 @@
 // Command epoc-lint runs the project's static-analysis suite
-// (internal/lint) over the module: floatcmp, globalrand, layering,
-// errcheck and copylockplus — the numerical and concurrency
-// invariants EPOC's correctness claims depend on but the compiler
-// cannot check. See DESIGN.md §8 for the analyzer catalog and the
-// //epoc:lint-ignore suppression syntax.
+// (internal/lint) over the module — the numerical, concurrency and
+// hot-path invariants EPOC's correctness claims depend on but the
+// compiler cannot check: floatcmp, globalrand, layering, errcheck,
+// copylockplus, ctxflow, spanend, and the dataflow analyzers
+// maporder, lockguard, goleak and allochot. See DESIGN.md §8 for the
+// analyzer catalog and the //epoc:lint-ignore suppression syntax,
+// and §13 for the CFG/call-graph layer.
 //
 // Usage:
 //
 //	epoc-lint [flags] [./...|./internal/synth|...]
 //
+// The -format flag selects the output encoding:
+//
+//	text    one finding per line, file:line:col: analyzer: message (default)
+//	json    a single JSON object with findings and counts, for tooling
+//	github  GitHub Actions workflow commands (::error ...), so CI runs
+//	        annotate the offending lines in the diff view
+//
 // Exit status: 0 when clean, 1 when any unsuppressed finding exists,
-// 2 when the module fails to load.
+// 2 when the module fails to load or the flags are invalid.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,46 +35,82 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -format json wire shape of one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonReport is the -format json top-level object.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Failed     int           `json:"failed"`
+	Suppressed int           `json:"suppressed"`
+}
+
+// run is main with the process edges (args, stdio, exit code) made
+// explicit so the exit-code contract is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("epoc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list       = flag.Bool("list", false, "list analyzers and exit")
-		run        = flag.String("run", "", "comma-separated analyzers to run (default: all)")
-		suppressed = flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
-		modDir     = flag.String("mod", "", "module root to lint (default: walk up from cwd to go.mod); a tree without go.mod is compiled as module \"epoc\", which is how the testdata fixtures run")
+		list       = fs.Bool("list", false, "list analyzers and exit")
+		runList    = fs.String("run", "", "comma-separated analyzers to run (default: all)")
+		suppressed = fs.Bool("suppressed", false, "also print suppressed findings with their reasons (text format)")
+		format     = fs.String("format", "text", "output format: text, json, or github")
+		modDir     = fs.String("mod", "", "module root to lint (default: walk up from cwd to go.mod); a tree without go.mod is compiled as module \"epoc\", which is how the testdata fixtures run")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: epoc-lint [flags] [patterns]\n\npatterns are ./... (default) or ./<dir> prefixes relative to the module root\n\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: epoc-lint [flags] [patterns]\n\npatterns are ./... (default) or ./<dir> prefixes relative to the module root\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fmt.Fprintf(stderr, "epoc-lint: unknown -format %q (want text, json, or github)\n", *format)
+		return 2
 	}
 
 	analyzers := lint.All()
-	if *run != "" {
+	if *runList != "" {
 		var err error
-		analyzers, err = lint.ByName(*run)
+		analyzers, err = lint.ByName(*runList)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "epoc-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "epoc-lint:", err)
+			return 2
 		}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "epoc-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "epoc-lint:", err)
+		return 2
 	}
 	var root, modPath string
 	if *modDir != "" {
 		root, err = filepath.Abs(*modDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "epoc-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "epoc-lint:", err)
+			return 2
 		}
 		if r, mp, err := lint.FindModuleRoot(root); err == nil && r == root {
 			modPath = mp
@@ -73,25 +120,23 @@ func main() {
 	} else {
 		root, modPath, err = lint.FindModuleRoot(cwd)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "epoc-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "epoc-lint:", err)
+			return 2
 		}
 	}
 	mod, err := lint.LoadModule(root, modPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "epoc-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "epoc-lint:", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	findings := lint.Run(mod, analyzers)
-	failed := 0
-	nsup := 0
-	for _, f := range findings {
+	report := jsonReport{Findings: []jsonFinding{}}
+	for _, f := range lint.Run(mod, analyzers) {
 		if !matchesPatterns(mod, root, f.Pos.Filename, patterns) {
 			continue
 		}
@@ -100,19 +145,65 @@ func main() {
 			rel = f.Pos.Filename
 		}
 		if f.Suppressed {
-			nsup++
-			if *suppressed {
-				fmt.Printf("%s:%d:%d: %s: suppressed (%s): %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Reason, f.Message)
-			}
-			continue
+			report.Suppressed++
+		} else {
+			report.Failed++
 		}
-		failed++
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		report.Findings = append(report.Findings, jsonFinding{
+			File:       rel,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "epoc-lint: %d finding(s) (%d suppressed)\n", failed, nsup)
-		os.Exit(1)
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "epoc-lint:", err)
+			return 2
+		}
+	case "github":
+		for _, f := range report.Findings {
+			if f.Suppressed {
+				continue
+			}
+			// ::error annotations render on the offending line in the PR
+			// diff. Messages must have newlines and special chars escaped
+			// per the workflow-command grammar.
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d,title=epoc-lint/%s::%s\n",
+				f.File, f.Line, f.Col, f.Analyzer, githubEscape(f.Message))
+		}
+	default: // text
+		for _, f := range report.Findings {
+			if f.Suppressed {
+				if *suppressed {
+					fmt.Fprintf(stdout, "%s:%d:%d: %s: suppressed (%s): %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Reason, f.Message)
+				}
+				continue
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
+	if report.Failed > 0 {
+		fmt.Fprintf(stderr, "epoc-lint: %d finding(s) (%d suppressed)\n", report.Failed, report.Suppressed)
+		return 1
+	}
+	return 0
+}
+
+// githubEscape encodes a workflow-command message per the Actions
+// grammar: % first, then newlines.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // matchesPatterns reports whether filename (absolute) falls under any

@@ -74,6 +74,7 @@ func Serve(addr string, rec *obs.Recorder) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("debugsrv: %w", err)
 	}
+	//epoc:lint-ignore goleak the serve loop intentionally runs for the life of the process; there is deliberately no Stop (see doc comment)
 	go func() {
 		// http.Serve only returns on listener failure; the process is
 		// exiting then and there is nobody to hand the error to.

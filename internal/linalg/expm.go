@@ -124,6 +124,10 @@ func (e *HermitianEig) ExpI(s float64) *Matrix {
 	return expIFromEig(e.Vals, e.Vecs, s)
 }
 
+// expIFromEig reconstructs e^{i·s·H} = V·diag(e^{i·s·λ})·V† from an
+// eigendecomposition. It runs once per time slot per GRAPE iteration.
+//
+//epoc:hot
 func expIFromEig(vals []float64, vecs *Matrix, s float64) *Matrix {
 	n := len(vals)
 	// V · diag(e^{i s λ}) · V†

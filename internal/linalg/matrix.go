@@ -133,6 +133,8 @@ func (m *Matrix) ScaleInPlace(s complex128) *Matrix {
 }
 
 // Mul returns the matrix product m·n.
+//
+//epoc:hot
 func (m *Matrix) Mul(n *Matrix) *Matrix {
 	if m.Cols != n.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
@@ -156,6 +158,8 @@ func (m *Matrix) Mul(n *Matrix) *Matrix {
 }
 
 // MulVec returns the matrix-vector product m·v.
+//
+//epoc:hot
 func (m *Matrix) MulVec(v []complex128) []complex128 {
 	if m.Cols != len(v) {
 		panic("linalg: MulVec dimension mismatch")
@@ -173,6 +177,8 @@ func (m *Matrix) MulVec(v []complex128) []complex128 {
 }
 
 // Transpose returns mᵀ.
+//
+//epoc:hot
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -193,6 +199,8 @@ func (m *Matrix) Conj() *Matrix {
 }
 
 // Adjoint returns the conjugate transpose m†.
+//
+//epoc:hot
 func (m *Matrix) Adjoint() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)
 	for i := 0; i < m.Rows; i++ {
@@ -214,6 +222,8 @@ func (m *Matrix) Trace() complex128 {
 }
 
 // Kron returns the Kronecker product m ⊗ n.
+//
+//epoc:hot
 func (m *Matrix) Kron(n *Matrix) *Matrix {
 	out := NewMatrix(m.Rows*n.Rows, m.Cols*n.Cols)
 	for i := 0; i < m.Rows; i++ {

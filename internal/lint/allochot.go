@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Allochot enforces the hot-path allocation budget (ROADMAP item 2:
+// steady-state pulse kernels should not allocate per iteration). A
+// function opts in with an `//epoc:hot` directive in its doc comment;
+// inside any loop of such a function, expressions that allocate are
+// findings:
+//
+//   - make, new, and growing append calls;
+//   - composite literals (slice/map/struct literals build a fresh
+//     value each pass — hoist them, or index into a preallocated
+//     workspace);
+//   - function literals (a closure capture allocates);
+//   - explicit conversions to an interface type (the value is boxed).
+//
+// The check is syntactic and local on purpose: a call that allocates
+// internally is the callee's business — annotate the callee with
+// //epoc:hot and the analyzer follows it there. Loop bounds and
+// escape analysis are out of scope; an allocation the author knows is
+// amortized (e.g. a grow-once append) takes an //epoc:lint-ignore
+// with that reasoning.
+var Allochot = &Analyzer{
+	Name: "allochot",
+	Doc:  "flags allocations inside loops of //epoc:hot-annotated functions",
+	Run:  runAllochot,
+}
+
+// hotDirective is the doc-comment opt-in marker.
+const hotDirective = "//epoc:hot"
+
+func runAllochot(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotFunc(fn) {
+				continue
+			}
+			checkHotFunc(p, fn)
+		}
+	}
+}
+
+// isHotFunc reports whether the declaration carries //epoc:hot.
+func isHotFunc(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotDirective ||
+			strings.HasPrefix(strings.TrimSpace(c.Text), hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc flags allocations inside the function's loops.
+func checkHotFunc(p *Pass, fn *ast.FuncDecl) {
+	walkUnit(fn.Body, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var post ast.Stmt
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body, post = l.Body, l.Post
+		case *ast.RangeStmt:
+			body = l.Body
+		default:
+			return
+		}
+		reportAllocs(p, body)
+		if post != nil {
+			reportAllocs(p, post)
+		}
+	})
+}
+
+// reportAllocs walks one loop body (not descending into function
+// literals: the literal itself is the finding, what it does when
+// called is its own unit) and reports each allocating expression.
+// Nested loops are skipped here — walkUnit in checkHotFunc visits
+// them as loops in their own right, so each allocation is reported
+// exactly once.
+func reportAllocs(p *Pass, root ast.Node) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != root {
+				return false
+			}
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure allocated inside a hot loop; hoist it out of the loop or pass state explicitly")
+			return false
+		case *ast.CompositeLit:
+			p.Reportf(n.Pos(), "composite literal allocates inside a hot loop; hoist it or reuse a preallocated workspace")
+			return false // inner literals are part of the same allocation
+		case *ast.CallExpr:
+			switch {
+			case isBuiltinCall(p.Info, n, "make"):
+				p.Reportf(n.Pos(), "make inside a hot loop allocates per iteration; preallocate outside the loop")
+			case isBuiltinCall(p.Info, n, "new"):
+				p.Reportf(n.Pos(), "new inside a hot loop allocates per iteration; preallocate outside the loop")
+			case isBuiltinCall(p.Info, n, "append"):
+				p.Reportf(n.Pos(), "append inside a hot loop may grow per iteration; presize the slice outside the loop")
+			}
+			if convertsToInterface(p, n) {
+				p.Reportf(n.Pos(), "conversion to an interface type boxes the value inside a hot loop; keep it concrete")
+			}
+		}
+		return true
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n == root {
+			return true
+		}
+		return visit(n)
+	})
+}
+
+// convertsToInterface reports whether call is an explicit conversion
+// T(v) where T is an interface type and v is not.
+func convertsToInterface(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	if !types.IsInterface(tv.Type) {
+		return false
+	}
+	argTV, ok := p.Info.Types[call.Args[0]]
+	return ok && argTV.Type != nil && !types.IsInterface(argTV.Type)
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// callGraph is the module-level static call graph: for every declared
+// function or method, the set of in-module functions it calls
+// directly (including calls made from function literals nested inside
+// it — a closure's calls are attributed to the declaring function,
+// which matches how join/cleanup responsibilities flow in this
+// codebase). Indirect calls through function values and interface
+// methods are not resolved; analyzers that consult the graph
+// (goleak) treat "unresolvable" as "no evidence" and lean on
+// suppression comments for the rare dynamic dispatch site.
+type callGraph struct {
+	nodes map[*types.Func]*callNode
+}
+
+type callNode struct {
+	decl    *ast.FuncDecl
+	pkg     *Package
+	callees []*types.Func // in-module static callees, in source order
+}
+
+// callGraph returns the module's call graph, building it on first use.
+// Run drives analyzers sequentially, so no locking is needed.
+func (m *Module) callGraph() *callGraph {
+	if m.cg != nil {
+		return m.cg
+	}
+	cg := &callGraph{nodes: map[*types.Func]*callNode{}}
+	for _, pkg := range m.Sorted() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &callNode{decl: fd, pkg: pkg}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := calleeOf(pkg.Info, call)
+					if callee != nil && callee.Pkg() != nil && m.InModule(callee.Pkg().Path()) {
+						node.callees = append(node.callees, callee)
+					}
+					return true
+				})
+				cg.nodes[fn] = node
+			}
+		}
+	}
+	m.cg = cg
+	return cg
+}
+
+// node returns the graph node for fn, nil when fn is not a declared
+// in-module function (or has no body).
+func (g *callGraph) node(fn *types.Func) *callNode {
+	return g.nodes[fn]
+}
+
+// anyReachable reports whether pred holds for fn's declaration or for
+// any function transitively reachable from it within maxDepth calls.
+// pred receives each visited node; depth 0 checks only fn itself.
+func (g *callGraph) anyReachable(fn *types.Func, maxDepth int, pred func(*callNode) bool) bool {
+	seen := map[*types.Func]bool{}
+	var visit func(f *types.Func, depth int) bool
+	visit = func(f *types.Func, depth int) bool {
+		if seen[f] {
+			return false
+		}
+		seen[f] = true
+		n := g.nodes[f]
+		if n == nil {
+			return false
+		}
+		if pred(n) {
+			return true
+		}
+		if depth >= maxDepth {
+			return false
+		}
+		for _, callee := range n.callees {
+			if visit(callee, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(fn, 0)
+}
+
+// isBuiltinCall reports whether call invokes the predeclared builtin
+// of the given name (append, close, make, ...). The identifier must
+// resolve to a *types.Builtin — a user function shadowing the name
+// resolves to a *types.Func and does not match.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// calleeOf resolves the called function object of call using info,
+// unwrapping parens; nil for builtins, conversions and indirect
+// calls. This is calleeFunc without the Pass plumbing, shared with
+// the call-graph builder which runs outside any single pass.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		paren, ok := fun.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		fun = paren.X
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,406 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the dataflow substrate under the flow-sensitive
+// analyzers (lockguard, maporder): an intra-procedural control-flow
+// graph built from the AST alone. Like the rest of the framework it
+// is pure stdlib — no x/tools/go/cfg — and deliberately small: basic
+// blocks hold statements and the conditions that guard their
+// successors, in source order, and edges follow Go's structured
+// control flow (if/else, for/range with break/continue including
+// labels, switch/type-switch/select with fallthrough, goto, return,
+// and panic). Defer is modeled by collecting the function's defer
+// statements on the side: deferred calls run on every path out, so
+// analyzers consult cfg.defers when deciding exit-state questions
+// rather than finding them on block paths.
+//
+// The builder is per function "unit": function literals are separate
+// units and are not descended into (a closure runs at an unknown
+// time, on an unknown goroutine — flow facts of the enclosing body do
+// not apply inside it).
+
+// cfgBlock is one basic block: statements and guard expressions in
+// source order, plus successor edges.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // synthetic: every return/panic/fall-off-end edge lands here
+	blocks []*cfgBlock
+
+	// after maps a compound statement (if/for/range/switch/select) to
+	// the block control reaches when the statement completes; maporder
+	// starts its post-loop walk there.
+	after map[ast.Stmt]*cfgBlock
+
+	// defers lists every defer statement in the unit, in source order.
+	// Deferred calls execute on all paths out of the function.
+	defers []*ast.DeferStmt
+}
+
+// reachableFrom returns the set of blocks reachable from b (inclusive).
+func (c *funcCFG) reachableFrom(b *cfgBlock) map[*cfgBlock]bool {
+	seen := map[*cfgBlock]bool{}
+	var visit func(*cfgBlock)
+	visit = func(x *cfgBlock) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, s := range x.succs {
+			visit(s)
+		}
+	}
+	visit(b)
+	return seen
+}
+
+// loopTargets is one break/continue scope.
+type loopTargets struct {
+	brk  *cfgBlock
+	cont *cfgBlock // nil for switch/select scopes (continue passes through)
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+	pos   token.Pos
+}
+
+type cfgBuilder struct {
+	c   *funcCFG
+	cur *cfgBlock // nil never happens; unreachable code gets a fresh pred-less block
+
+	scopes        []loopTargets          // innermost last
+	labels        map[string]loopTargets // labeled loop/switch break+continue targets
+	labelBlocks   map[string]*cfgBlock   // label -> block starting the labeled statement (goto)
+	gotos         []pendingGoto
+	pendingLabel  string    // label naming the next loop/switch processed
+	fallthroughTo *cfgBlock // next case clause during switch body processing
+}
+
+// buildCFG constructs the CFG of one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	c := &funcCFG{after: map[ast.Stmt]*cfgBlock{}}
+	b := &cfgBuilder{
+		c:           c,
+		labels:      map[string]loopTargets{},
+		labelBlocks: map[string]*cfgBlock{},
+	}
+	c.entry = b.newBlock()
+	c.exit = b.newBlock()
+	b.cur = c.entry
+	b.stmts(body.List)
+	b.edge(b.cur, c.exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labelBlocks[g.label]; ok {
+			b.edge(g.from, target)
+		} else {
+			// Label outside the unit (or a parse oddity): treat as exit so
+			// the graph stays connected.
+			b.edge(g.from, c.exit)
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.c.blocks)}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.cur.nodes = append(b.cur.nodes, n) }
+
+// startUnreachable begins a fresh block with no predecessors, for code
+// after a terminating statement.
+func (b *cfgBuilder) startUnreachable() { b.cur = b.newBlock() }
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the statement now being
+// built, registering its break/continue targets.
+func (b *cfgBuilder) takeLabel(t loopTargets) {
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = t
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+		b.c.after[s] = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.takeLabel(loopTargets{brk: after, cont: cont})
+		b.scopes = append(b.scopes, loopTargets{brk: after, cont: cont})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmt(s.Body)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+		b.c.after[s] = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node itself stands for the per-iteration
+		// key/value binding and the use of the ranged expression.
+		head.nodes = append(head.nodes, s)
+		after := b.newBlock()
+		b.edge(head, after)
+		b.takeLabel(loopTargets{brk: after, cont: head})
+		b.scopes = append(b.scopes, loopTargets{brk: after, cont: head})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmt(s.Body)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+		b.c.after[s] = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitch(s, s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.buildSwitch(s, s.Body, false)
+
+	case *ast.SelectStmt:
+		b.buildSwitch(s, s.Body, true)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labelBlocks[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.c.exit)
+		b.startUnreachable()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t, ok := b.branchTarget(s, false); ok {
+				b.edge(b.cur, t)
+			}
+			b.startUnreachable()
+		case token.CONTINUE:
+			if t, ok := b.branchTarget(s, true); ok {
+				b.edge(b.cur, t)
+			}
+			b.startUnreachable()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name, pos: s.Pos()})
+			b.startUnreachable()
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edge(b.cur, b.fallthroughTo)
+			}
+			b.startUnreachable()
+		}
+
+	case *ast.DeferStmt:
+		b.c.defers = append(b.c.defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.edge(b.cur, b.c.exit)
+			b.startUnreachable()
+		}
+
+	default:
+		// Assignments, sends, inc/dec, declarations, go statements,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// buildSwitch handles switch, type switch and select bodies: the
+// current block fans out to every clause; clause bodies converge on
+// the after block. A switch without a default also edges straight to
+// after; a select without a default has no such edge (it blocks until
+// a case is ready).
+func (b *cfgBuilder) buildSwitch(s ast.Stmt, body *ast.BlockStmt, isSelect bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.takeLabel(loopTargets{brk: after})
+	b.scopes = append(b.scopes, loopTargets{brk: after})
+
+	// Pre-create clause blocks so fallthrough can target the next one.
+	var clauseBlocks []*cfgBlock
+	hasDefault := false
+	for _, cs := range body.List {
+		clauseBlocks = append(clauseBlocks, b.newBlock())
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	savedFall := b.fallthroughTo
+	for i, cs := range body.List {
+		cb := clauseBlocks[i]
+		b.edge(head, cb)
+		b.cur = cb
+		b.fallthroughTo = nil
+		if i+1 < len(clauseBlocks) {
+			b.fallthroughTo = clauseBlocks[i+1]
+		}
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			b.stmts(cc.Body)
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmts(cc.Body)
+		}
+		b.edge(b.cur, after)
+	}
+	b.fallthroughTo = savedFall
+	if !hasDefault && !isSelect {
+		b.edge(head, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+	b.c.after[s] = after
+}
+
+// branchTarget resolves a break/continue to its block. Unlabeled
+// continue skips switch/select scopes (they have no cont target).
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isContinue bool) (*cfgBlock, bool) {
+	if s.Label != nil {
+		t, ok := b.labels[s.Label.Name]
+		if !ok {
+			return nil, false
+		}
+		if isContinue {
+			return t.cont, t.cont != nil
+		}
+		return t.brk, t.brk != nil
+	}
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		t := b.scopes[i]
+		if isContinue {
+			if t.cont != nil {
+				return t.cont, true
+			}
+			continue // switch/select: continue belongs to the enclosing loop
+		}
+		return t.brk, true
+	}
+	return nil, false
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic.
+// A shadowed `panic` identifier would misclassify, but the repo's
+// conventions (and gofmt-era Go at large) never shadow it.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseCFG builds the CFG of the first function declared in src.
+func parseCFG(t *testing.T, src string) (*funcCFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			return buildCFG(fn.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// lineOf returns the 1-based line of the first occurrence of marker in
+// src, accounting for the injected "package p" line.
+func lineOf(t *testing.T, src, marker string) int {
+	t.Helper()
+	idx := strings.Index(src, marker)
+	if idx < 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	return 2 + strings.Count(src[:idx], "\n")
+}
+
+// blockOn returns a block holding a node that starts on line.
+func blockOn(c *funcCFG, fset *token.FileSet, line int) *cfgBlock {
+	for _, b := range c.blocks {
+		for _, n := range b.nodes {
+			if fset.Position(n.Pos()).Line == line {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c, _ := parseCFG(t, `
+func f() {
+	x := 1
+	x++
+	_ = x
+}`)
+	if !c.reachableFrom(c.entry)[c.exit] {
+		t.Fatal("exit unreachable in straight-line code")
+	}
+	if len(c.entry.nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(c.entry.nodes))
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	src := `
+func f(b bool) {
+	x := 0
+	if b {
+		x = 1
+	} else {
+		x = 2
+	}
+	_ = x // join
+}`
+	c, fset := parseCFG(t, src)
+	join := blockOn(c, fset, lineOf(t, src, "_ = x"))
+	if join == nil {
+		t.Fatal("no block for the join statement")
+	}
+	then := blockOn(c, fset, lineOf(t, src, "x = 1"))
+	els := blockOn(c, fset, lineOf(t, src, "x = 2"))
+	for name, b := range map[string]*cfgBlock{"then": then, "else": els} {
+		if b == nil {
+			t.Fatalf("no block for %s branch", name)
+		}
+		if !c.reachableFrom(b)[join] {
+			t.Errorf("join not reachable from %s branch", name)
+		}
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	src := `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	c, fset := parseCFG(t, src)
+	body := blockOn(c, fset, lineOf(t, src, "s += i"))
+	ret := blockOn(c, fset, lineOf(t, src, "return s"))
+	if body == nil || ret == nil {
+		t.Fatal("missing body or return block")
+	}
+	if !c.reachableFrom(body)[body] {
+		t.Error("loop body cannot re-reach itself (no back edge)")
+	}
+	if !c.reachableFrom(c.entry)[ret] {
+		t.Error("statement after the loop unreachable")
+	}
+}
+
+func TestCFGInfiniteForVsBreak(t *testing.T) {
+	noBreak, _ := parseCFG(t, `
+func f() {
+	for {
+	}
+}`)
+	if noBreak.reachableFrom(noBreak.entry)[noBreak.exit] {
+		t.Error("exit reachable past an infinite loop")
+	}
+	withBreak, _ := parseCFG(t, `
+func f(b bool) {
+	for {
+		if b {
+			break
+		}
+	}
+}`)
+	if !withBreak.reachableFrom(withBreak.entry)[withBreak.exit] {
+		t.Error("exit unreachable despite the break")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// An unlabeled break only exits the inner loop; the outer loop
+	// still never terminates.
+	inner, _ := parseCFG(t, `
+func f() {
+	for {
+		for {
+			break
+		}
+	}
+}`)
+	if inner.reachableFrom(inner.entry)[inner.exit] {
+		t.Error("unlabeled break escaped the outer infinite loop")
+	}
+	// A labeled break exits both.
+	labeled, _ := parseCFG(t, `
+func f() {
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+}`)
+	if !labeled.reachableFrom(labeled.entry)[labeled.exit] {
+		t.Error("labeled break did not reach past the outer loop")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	src := `
+func f(n int) {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue outer
+			}
+			s++
+		}
+	}
+	_ = s // after
+}`
+	c, fset := parseCFG(t, src)
+	cont := blockOn(c, fset, lineOf(t, src, "continue outer"))
+	after := blockOn(c, fset, lineOf(t, src, "_ = s"))
+	if cont == nil || after == nil {
+		t.Fatal("missing continue or after block")
+	}
+	if !c.reachableFrom(cont)[after] {
+		t.Error("continue outer cannot eventually leave the outer loop")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	src := `
+func f() int {
+	return 1
+	_ = 2 // dead
+}`
+	c, fset := parseCFG(t, src)
+	dead := blockOn(c, fset, lineOf(t, src, "_ = 2"))
+	if dead == nil {
+		t.Fatal("dead statement has no block")
+	}
+	if c.reachableFrom(c.entry)[dead] {
+		t.Error("statement after return is reachable")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	src := `
+func f() {
+	panic("boom")
+	_ = 2 // dead
+}`
+	c, fset := parseCFG(t, src)
+	dead := blockOn(c, fset, lineOf(t, src, "_ = 2"))
+	if c.reachableFrom(c.entry)[dead] {
+		t.Error("statement after panic is reachable")
+	}
+	if !c.reachableFrom(c.entry)[c.exit] {
+		t.Error("panic does not edge to exit")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	src := `
+func f(x int) int {
+	switch x {
+	case 1:
+		return 1
+	case 2:
+		x = 5
+	}
+	return x // after
+}`
+	c, fset := parseCFG(t, src)
+	after := blockOn(c, fset, lineOf(t, src, "return x"))
+	caseTwo := blockOn(c, fset, lineOf(t, src, "x = 5"))
+	if after == nil || caseTwo == nil {
+		t.Fatal("missing switch blocks")
+	}
+	// No default: the head must edge past the switch as well as
+	// through the non-returning case.
+	if !c.reachableFrom(c.entry)[after] {
+		t.Error("after-switch statement unreachable")
+	}
+	if !c.reachableFrom(caseTwo)[after] {
+		t.Error("falling out of a case does not reach the after block")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	src := `
+func f(x int) int {
+	switch x {
+	case 1:
+		x = 10
+		fallthrough
+	case 2:
+		x = 20 // next clause
+	}
+	return x
+}`
+	c, fset := parseCFG(t, src)
+	first := blockOn(c, fset, lineOf(t, src, "x = 10"))
+	second := blockOn(c, fset, lineOf(t, src, "x = 20"))
+	if first == nil || second == nil {
+		t.Fatal("missing clause blocks")
+	}
+	if !c.reachableFrom(first)[second] {
+		t.Error("fallthrough does not reach the next clause")
+	}
+}
+
+func TestCFGSelectNoDefaultBlocks(t *testing.T) {
+	src := `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+	// no fallthrough edge: a default-less select blocks
+}`
+	c, fset := parseCFG(t, src)
+	recv := blockOn(c, fset, lineOf(t, src, "case v := <-ch"))
+	if recv == nil {
+		t.Fatal("missing comm clause block")
+	}
+	// The only way to exit is through the clause's return.
+	if !c.reachableFrom(c.entry)[c.exit] {
+		t.Error("exit unreachable through the select clause")
+	}
+}
+
+func TestCFGRange(t *testing.T) {
+	src := `
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s // after
+}`
+	c, fset := parseCFG(t, src)
+	body := blockOn(c, fset, lineOf(t, src, "s += x"))
+	after := blockOn(c, fset, lineOf(t, src, "return s"))
+	if body == nil || after == nil {
+		t.Fatal("missing range blocks")
+	}
+	if !c.reachableFrom(body)[body] {
+		t.Error("range body has no back edge")
+	}
+	if !c.reachableFrom(c.entry)[after] {
+		t.Error("after-range statement unreachable")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	src := `
+func f() {
+	defer one()
+	if true {
+		defer two()
+	}
+}
+func one() {}
+func two() {}`
+	c, _ := parseCFG(t, src)
+	if len(c.defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(c.defers))
+	}
+	if !c.reachableFrom(c.entry)[c.exit] {
+		t.Error("defers must not terminate flow")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	src := `
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`
+	c, fset := parseCFG(t, src)
+	target := blockOn(c, fset, lineOf(t, src, "i++"))
+	gotoBlk := blockOn(c, fset, lineOf(t, src, "goto loop"))
+	if target == nil || gotoBlk == nil {
+		t.Fatal("missing goto blocks")
+	}
+	if !c.reachableFrom(gotoBlk)[target] {
+		t.Error("goto does not edge back to its label")
+	}
+	if !c.reachableFrom(c.entry)[c.exit] {
+		t.Error("exit unreachable in goto loop")
+	}
+}
+
+func TestCFGAfterMap(t *testing.T) {
+	src := `
+func f(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	c := buildCFG(fn.Body)
+	var loop *ast.RangeStmt
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			loop = r
+		}
+		return true
+	})
+	after := c.after[ast.Stmt(loop)]
+	if after == nil {
+		t.Fatal("after map has no entry for the range statement")
+	}
+	found := false
+	for _, n := range after.nodes {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the block after the loop does not hold the return")
+	}
+}

@@ -114,23 +114,5 @@ func findTimeNow(p *Pass, e ast.Expr) ast.Expr {
 // calleeFunc resolves the called function object of call, unwrapping
 // parens; nil for builtins, conversions and indirect calls.
 func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
-	fun := call.Fun
-	for {
-		paren, ok := fun.(*ast.ParenExpr)
-		if !ok {
-			break
-		}
-		fun = paren.X
-	}
-	var id *ast.Ident
-	switch f := fun.(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return nil
-	}
-	fn, _ := p.Info.Uses[id].(*types.Func)
-	return fn
+	return calleeOf(p.Info, call)
 }

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Goleak flags `go` statements that spawn a goroutine with no
+// detectable join path. A goroutine is considered joined when the
+// spawned code — the function literal's body, or for a named callee
+// anything reachable through the module call graph — contains
+// completion evidence:
+//
+//   - a sync.WaitGroup Done call (the Add/Wait pairing lives at the
+//     spawn site, Done in the goroutine);
+//   - a channel send or close (the goroutine hands its result or its
+//     termination to someone);
+//   - a ctx.Done()/ctx.Err() consultation (the goroutine is tied to a
+//     context the spawner cancels).
+//
+// Anything else runs unsupervised: nothing waits for it, nothing can
+// stop it, and under `go test` or server shutdown it is a leak.
+// Indirect calls (function values, interface methods) cannot be
+// traced; a goroutine whose only exit path runs through one needs an
+// //epoc:lint-ignore goleak with the reason. The call-graph search is
+// depth-limited so a spawn that launders its join through many layers
+// is surfaced for a human look rather than silently trusted.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "flags go statements with no detectable join (WaitGroup Done, channel send/close, or ctx-cancel path)",
+	Run:  runGoleak,
+}
+
+// goleakMaxDepth bounds the call-graph search from a spawned callee.
+const goleakMaxDepth = 4
+
+func runGoleak(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineJoins(p, gs) {
+				p.Reportf(gs.Pos(), "goroutine has no detectable join: no WaitGroup Done, channel send/close, or ctx-cancel path; tie its lifetime to a join or suppress with the reason it may outlive its spawner")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineJoins reports whether the spawned call carries join
+// evidence.
+func goroutineJoins(p *Pass, gs *ast.GoStmt) bool {
+	// go func() { ... }(): inspect the literal body directly.
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return bodyJoins(p, lit.Body)
+	}
+	// go s.worker() / go run(x): follow the call graph.
+	fn := calleeFunc(p, gs.Call)
+	if fn == nil {
+		return false // indirect call: no evidence
+	}
+	cg := p.Module.callGraph()
+	return cg.anyReachable(fn, goleakMaxDepth, func(n *callNode) bool {
+		return n.decl.Body != nil && bodyJoins(p, n.decl.Body)
+	})
+}
+
+// bodyJoins scans one function body (descending into nested literals:
+// a join signaled from a closure the goroutine itself runs still
+// counts) for completion evidence. In-module callees are followed
+// through the call graph.
+func bodyJoins(p *Pass, body *ast.BlockStmt) bool {
+	joined := false
+	var callees []*types.Func
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+		case *ast.CallExpr:
+			if isBuiltinClose(p.Info, n) {
+				joined = true
+				return false
+			}
+			fn := calleeFunc(p, n)
+			if fn == nil {
+				return true
+			}
+			if isWaitGroupDone(fn) || isCtxSignal(fn) {
+				joined = true
+				return false
+			}
+			if fn.Pkg() != nil && p.Module.InModule(fn.Pkg().Path()) {
+				callees = append(callees, fn)
+			}
+		}
+		return true
+	})
+	if joined {
+		return true
+	}
+	cg := p.Module.callGraph()
+	for _, fn := range callees {
+		if cg.anyReachable(fn, goleakMaxDepth, func(cn *callNode) bool {
+			return cn.decl.Body != nil && declJoinsShallow(p, cn)
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// declJoinsShallow checks one call-graph node's own body for direct
+// evidence, without re-entering the callee recursion (anyReachable
+// already walks the graph).
+func declJoinsShallow(p *Pass, cn *callNode) bool {
+	joined := false
+	ast.Inspect(cn.decl.Body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			joined = true
+		case *ast.CallExpr:
+			if isBuiltinClose(cn.pkg.Info, n) {
+				joined = true
+				return false
+			}
+			if fn := calleeOf(cn.pkg.Info, n); fn != nil && (isWaitGroupDone(fn) || isCtxSignal(fn)) {
+				joined = true
+				return false
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// isBuiltinClose reports whether call is the predeclared close(ch),
+// distinguishing it from a user function that shadows the name.
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	return isBuiltinCall(info, call, "close")
+}
+
+// isWaitGroupDone reports whether fn is (*sync.WaitGroup).Done.
+func isWaitGroupDone(fn *types.Func) bool {
+	if fn.Name() != "Done" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := baseNamed(sig.Recv().Type())
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// isCtxSignal reports whether fn is context.Context.Done or .Err —
+// the goroutine consults its context, so cancellation reaches it.
+func isCtxSignal(fn *types.Func) bool {
+	if fn.Name() != "Done" && fn.Name() != "Err" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isContextType(sig.Recv().Type())
+}

@@ -21,7 +21,21 @@
 //     is in scope (ctxflow);
 //   - a *trace.Span obtained in a function is ended on every path out
 //     of it: defer sp.End(), or let the span escape to the owner of
-//     its lifetime (spanend).
+//     its lifetime (spanend);
+//   - values iterated out of a map never reach an order-sensitive
+//     sink — emitted, hashed, compared — without an intervening sort
+//     (maporder);
+//   - struct fields tied to a mutex, by a `// guards:` comment or the
+//     mu-adjacency idiom in the shared-state packages, are only
+//     touched while the mutex is held (lockguard);
+//   - every spawned goroutine has a join path: WaitGroup Done, a
+//     channel send/close, or a ctx-cancel edge (goleak);
+//   - functions annotated //epoc:hot do not allocate inside their
+//     loops (allochot).
+//
+// The last four are flow-sensitive: they run over a per-function
+// control-flow graph (cfg.go) and a module-level call graph
+// (callgraph.go), both built from the same pure-stdlib loader.
 //
 // Findings may be suppressed, one site at a time and with a mandatory
 // reason, by a comment on the offending line or the line above:
@@ -33,7 +47,8 @@
 // `make lint`, from CI, and from the self-check test in this package,
 // which keeps the repository permanently lint-clean.
 //
-// DESIGN.md §8 documents the analyzer catalog and how to add one.
+// DESIGN.md §8 documents the analyzer catalog and how to add one;
+// §13 documents the CFG/call-graph layer under the dataflow analyzers.
 package lint
 
 import (
@@ -92,7 +107,7 @@ func (f Finding) String() string {
 
 // All returns the full epoc-lint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow, Spanend}
+	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow, Spanend, Maporder, Lockguard, Goleak, Allochot}
 }
 
 // ByName resolves a comma-separated analyzer list ("floatcmp,layering")

@@ -26,6 +26,7 @@ type Module struct {
 	Packages map[string]*Package // keyed by import path
 
 	sorted []*Package // dependency order, then import-path order
+	cg     *callGraph // lazily built module call graph (see callgraph.go)
 }
 
 // Package is one loaded package.

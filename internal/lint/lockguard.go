@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lockguard checks that struct fields tied to a mutex are only
+// touched while that mutex is held. A tie is declared two ways:
+//
+//   - explicitly, with a `// guards: a, b, c` trailing or doc comment
+//     on the mutex field (the convention serve.Server already uses);
+//   - implicitly, in the shared-state packages internal/serve,
+//     internal/store and internal/pulse, where the idiom is "mu, then
+//     the fields it protects, then a blank line": every field after a
+//     sync.Mutex/sync.RWMutex field named mu* is guarded until the
+//     first blank-line gap or the end of the struct.
+//
+// For each method on such a struct the analyzer runs a forward
+// may-analysis over the CFG with two bits — may-be-locked and
+// may-be-unlocked — driven by receiver.mu.Lock/RLock/Unlock/RUnlock
+// calls (a deferred Unlock does not release mid-flow). A guarded
+// field access in a state where the lock may be unlocked is a
+// finding. Methods whose doc comment says the caller must hold the
+// lock (e.g. "The caller must hold l.mu.") start in the locked
+// state. Function literals are separate units and are skipped: a
+// closure runs at an unknown time, so the enclosing method's lock
+// state cannot be assumed inside it.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "flags guarded-field accesses on CFG paths where the guarding mutex may not be held",
+	Run:  runLockguard,
+}
+
+// guardsRe matches the explicit tie comment: "guards: a, b" or
+// "guards a, b" after the // marker.
+var guardsRe = regexp.MustCompile(`//\s*guards:?\s+(.+)$`)
+
+// callerHoldsRe matches doc-comment phrasings that shift locking
+// responsibility to the caller.
+var callerHoldsRe = regexp.MustCompile(`(?i)caller(s)? must hold|must be held|held by the caller`)
+
+// lockguardAdjacencyPkgs are the module-relative package paths where
+// the mu-adjacency idiom is load-bearing enough to enforce without an
+// explicit guards comment.
+var lockguardAdjacencyPkgs = map[string]bool{
+	"internal/serve": true,
+	"internal/store": true,
+	"internal/pulse": true,
+}
+
+// guardSet is the guard relation for one struct type: mutex field ->
+// set of guarded fields.
+type guardSet struct {
+	mutex   *types.Var
+	muName  string
+	guarded map[*types.Var]bool
+}
+
+func runLockguard(p *Pass) {
+	guards := collectGuards(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvType := baseNamed(p.Info.TypeOf(fn.Recv.List[0].Type))
+			if recvType == nil {
+				continue
+			}
+			gs, ok := guards[recvType]
+			if !ok {
+				continue
+			}
+			checkLockguardMethod(p, fn, gs)
+		}
+	}
+}
+
+// collectGuards builds the guard relation for every struct type
+// declared in the package.
+func collectGuards(p *Pass) map[*types.Named][]*guardSet {
+	adjacency := lockguardAdjacencyPkgs[p.Module.relPath(p.Pkg.Path)]
+	out := map[*types.Named][]*guardSet{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				named, _ := p.Info.Defs[ts.Name].Type().(*types.Named)
+				if named == nil {
+					continue
+				}
+				sets := structGuards(p, st, adjacency)
+				if len(sets) > 0 {
+					out[named] = sets
+				}
+			}
+		}
+	}
+	return out
+}
+
+// structGuards extracts the guard sets of one struct literal.
+func structGuards(p *Pass, st *ast.StructType, adjacency bool) []*guardSet {
+	var sets []*guardSet
+	fields := st.Fields.List
+	for i, f := range fields {
+		if len(f.Names) != 1 || !isMutexType(p.Info.TypeOf(f.Type)) {
+			continue
+		}
+		muVar, _ := p.Info.Defs[f.Names[0]].(*types.Var)
+		if muVar == nil {
+			continue
+		}
+		gs := &guardSet{mutex: muVar, muName: muVar.Name(), guarded: map[*types.Var]bool{}}
+
+		byName := map[string]*types.Var{}
+		for _, g := range fields {
+			for _, n := range g.Names {
+				if v, ok := p.Info.Defs[n].(*types.Var); ok {
+					byName[n.Name] = v
+				}
+			}
+		}
+
+		if names, ok := guardsComment(f); ok {
+			for _, n := range names {
+				if v := byName[n]; v != nil {
+					gs.guarded[v] = true
+				}
+			}
+		} else if adjacency && strings.HasPrefix(muVar.Name(), "mu") {
+			// Fields after mu until the first blank-line gap.
+			prevLine := p.Fset.Position(f.End()).Line
+			for _, g := range fields[i+1:] {
+				gl := p.Fset.Position(g.Pos()).Line
+				if gl > prevLine+1 {
+					break // blank line (or detached comment) ends the guarded run
+				}
+				prevLine = p.Fset.Position(g.End()).Line
+				if isMutexType(p.Info.TypeOf(g.Type)) {
+					break
+				}
+				for _, n := range g.Names {
+					if v, ok := p.Info.Defs[n].(*types.Var); ok {
+						gs.guarded[v] = true
+					}
+				}
+			}
+		}
+		if len(gs.guarded) > 0 {
+			sets = append(sets, gs)
+		}
+	}
+	return sets
+}
+
+// guardsComment parses the field's doc or trailing comment for the
+// explicit "guards:" list.
+func guardsComment(f *ast.Field) ([]string, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardsRe.FindStringSubmatch(c.Text); m != nil {
+				raw := strings.Split(m[1], ",")
+				names := make([]string, 0, len(raw))
+				for _, r := range raw {
+					if n := strings.TrimSpace(r); n != "" {
+						names = append(names, n)
+					}
+				}
+				return names, len(names) > 0
+			}
+		}
+	}
+	return nil, false
+}
+
+// lockState is the per-block may-state of one mutex.
+type lockState uint8
+
+const (
+	mayLocked lockState = 1 << iota
+	mayUnlocked
+)
+
+// checkLockguardMethod runs the forward fixpoint for each guard set
+// over the method body and reports unguarded accesses.
+func checkLockguardMethod(p *Pass, fn *ast.FuncDecl, sets []*guardSet) {
+	cfg := buildCFG(fn.Body)
+	entry := lockState(mayUnlocked)
+	if fn.Doc != nil && callerHoldsRe.MatchString(fn.Doc.Text()) {
+		entry = mayLocked
+	}
+	for _, gs := range sets {
+		in := map[*cfgBlock]lockState{cfg.entry: entry}
+		work := []*cfgBlock{cfg.entry}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			out := transferLock(p, b, gs, in[b])
+			for _, s := range b.succs {
+				if in[s]|out != in[s] {
+					in[s] |= out
+					work = append(work, s)
+				}
+			}
+		}
+		// Reporting pass: replay each reachable block's transfer,
+		// flagging guarded accesses while mayUnlocked is set.
+		seen := map[token.Pos]bool{}
+		var poss []token.Pos
+		msgs := map[token.Pos]string{}
+		for _, b := range cfg.blocks {
+			st, ok := in[b]
+			if !ok && b != cfg.entry {
+				continue // unreachable
+			}
+			if b == cfg.entry {
+				st = entry
+			}
+			for _, n := range b.nodes {
+				if ls, unlocks := lockTransition(p, n, gs); ls {
+					st = mayLocked
+				} else if unlocks {
+					st = mayUnlocked
+				}
+				if st&mayUnlocked == 0 {
+					continue
+				}
+				for _, acc := range guardedAccesses(p, n, gs) {
+					if !seen[acc.pos] {
+						seen[acc.pos] = true
+						poss = append(poss, acc.pos)
+						msgs[acc.pos] = acc.name
+					}
+				}
+			}
+		}
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+		for _, pos := range poss {
+			p.Reportf(pos, "field %s is guarded by %s but accessed on a path where the lock may not be held", msgs[pos], gs.muName)
+		}
+	}
+}
+
+// transferLock computes the block's exit state from its entry state.
+func transferLock(p *Pass, b *cfgBlock, gs *guardSet, st lockState) lockState {
+	for _, n := range b.nodes {
+		if locks, unlocks := lockTransition(p, n, gs); locks {
+			st = mayLocked
+		} else if unlocks {
+			st = mayUnlocked
+		}
+	}
+	return st
+}
+
+// lockTransition classifies a node as a lock or unlock of gs.mutex.
+// A deferred unlock is neither: it runs at function exit, not here.
+func lockTransition(p *Pass, n ast.Node, gs *guardSet) (locks, unlocks bool) {
+	walkUnit(n, func(x ast.Node) {
+		if _, ok := x.(*ast.DeferStmt); ok {
+			return
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || p.Info.Uses[inner.Sel] != gs.mutex {
+			return
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			locks, unlocks = true, false
+		case "Unlock", "RUnlock":
+			locks, unlocks = false, true
+		}
+	})
+	// defers containing the calls above were skipped by the DeferStmt
+	// early-return only at the defer node itself; re-filter: if n is a
+	// DeferStmt, it contributes nothing to in-flow state.
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return false, false
+	}
+	return locks, unlocks
+}
+
+type guardedAccess struct {
+	pos  token.Pos
+	name string
+}
+
+// guardedAccesses lists uses of guarded fields inside n, skipping
+// nested function literals (separate units).
+func guardedAccesses(p *Pass, n ast.Node, gs *guardSet) []guardedAccess {
+	var out []guardedAccess
+	walkUnit(n, func(x ast.Node) {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !gs.guarded[v] {
+			return
+		}
+		out = append(out, guardedAccess{pos: sel.Sel.Pos(), name: v.Name()})
+	})
+	return out
+}
+
+// isMutexType reports whether t (possibly pointer) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// baseNamed unwraps a (possibly pointer) receiver type to its named
+// type.
+func baseNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

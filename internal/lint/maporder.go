@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder is the static form of the repository's determinism
+// guarantee (byte-identical output at any Workers count): Go map
+// iteration order is randomized, so values that flow from a
+// `for ... range m` over a map into an order-sensitive sink make the
+// output depend on the runtime's shuffle. Two shapes are findings:
+//
+//   - direct emission: a write call (fmt.Fprint*, anything.Write*,
+//     hash/builder writes) inside the map-range body whose arguments
+//     use the iteration variables — each iteration emits in shuffle
+//     order;
+//   - unsorted accumulation: the body appends iteration-derived
+//     values to a slice, and a CFG path from the loop reaches a use
+//     of that slice (returned, passed to a call, indexed, ranged,
+//     stored away) before any sort.Xxx/slices.Sort* call on it.
+//
+// The canonical clean pattern — collect keys, sort, then iterate the
+// sorted slice — passes: the sort call dominates every sink. Uses that
+// cannot observe order (len, cap, further self-appends) are not
+// sinks. The analysis is intra-procedural; a slice that escapes to a
+// caller who sorts it needs an //epoc:lint-ignore with that reason.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose values reach an order-sensitive sink without an intervening sort",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMaporderUnit(p, fn.Body)
+			// Function literals are their own CFG units.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkMaporderUnit(p, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkMaporderUnit(p *Pass, body *ast.BlockStmt) {
+	var loops []*ast.RangeStmt
+	walkUnit(body, func(n ast.Node) {
+		if r, ok := n.(*ast.RangeStmt); ok && isMapType(p, r.X) {
+			loops = append(loops, r)
+		}
+	})
+	if len(loops) == 0 {
+		return
+	}
+	cfg := buildCFG(body)
+	for _, loop := range loops {
+		checkMapLoop(p, cfg, loop)
+	}
+}
+
+// checkMapLoop inspects one map-range loop: direct emission inside
+// the body, and unsorted accumulation flowing past the loop.
+func checkMapLoop(p *Pass, cfg *funcCFG, loop *ast.RangeStmt) {
+	vars := loopVars(p, loop)
+	if len(vars) == 0 {
+		// `for range m` binds nothing; nothing map-ordered can flow out.
+		return
+	}
+
+	type acc struct {
+		obj       types.Object // the accumulating slice
+		appendPos token.Pos
+	}
+	var accs []acc
+	seenObj := map[types.Object]bool{}
+
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map-range loops get their own checkMapLoop call.
+			if n != loop && isMapType(p, n.X) {
+				return false
+			}
+		case *ast.CallExpr:
+			// Direct emission of iteration-derived values.
+			if isOrderSink(p, n) && usesAnyObj(p, n, vars) {
+				p.Reportf(n.Pos(), "write inside map iteration emits values in randomized map order; collect and sort first (Workers determinism)")
+				return true
+			}
+		case *ast.AssignStmt:
+			// s = append(s, ...derived...) accumulation.
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(p, id)
+				if obj == nil || !isSliceType(obj.Type()) {
+					continue
+				}
+				call, ok := n.Rhs[i].(*ast.CallExpr)
+				if !ok || !isAppendOf(p, call, obj) {
+					continue
+				}
+				if !usesAnyObj(p, call, vars) {
+					continue // appending something unrelated to the iteration
+				}
+				if !seenObj[obj] {
+					seenObj[obj] = true
+					accs = append(accs, acc{obj: obj, appendPos: call.Pos()})
+				}
+			}
+		}
+		return true
+	})
+
+	afterBlk := cfg.after[ast.Stmt(loop)]
+	if afterBlk == nil {
+		return
+	}
+	for _, a := range accs {
+		if use, ok := firstUnsortedSink(p, afterBlk, a.obj); ok {
+			usePos := p.Fset.Position(use.Pos())
+			p.Reportf(a.appendPos,
+				"slice %s accumulates map-iteration values here and reaches an order-sensitive use at line %d without an intervening sort; sort it (or the keys) first",
+				a.obj.Name(), usePos.Line)
+		}
+	}
+}
+
+// firstUnsortedSink walks the CFG forward from start looking for a use
+// of obj that can observe element order, stopping each path at the
+// first sort call covering obj. It returns the offending node.
+func firstUnsortedSink(p *Pass, start *cfgBlock, obj types.Object) (ast.Node, bool) {
+	visited := map[*cfgBlock]bool{}
+	var walk func(b *cfgBlock) (ast.Node, bool)
+	walk = func(b *cfgBlock) (ast.Node, bool) {
+		if visited[b] {
+			return nil, false
+		}
+		visited[b] = true
+		for _, n := range b.nodes {
+			if nodeSorts(p, n, obj) {
+				return nil, false // this path is now order-safe
+			}
+			if use, ok := orderSensitiveUse(p, n, obj); ok {
+				return use, true
+			}
+		}
+		for _, s := range b.succs {
+			if use, ok := walk(s); ok {
+				return use, true
+			}
+		}
+		return nil, false
+	}
+	return walk(start)
+}
+
+// nodeSorts reports whether n contains a sort/slices ordering call
+// that covers obj (obj appears in an argument).
+func nodeSorts(p *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObj(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// orderSensitiveUse reports the first use of obj in n that can
+// observe element order. Order-blind uses — len/cap, a further
+// self-append, and the sort calls nodeSorts already consumed — are
+// skipped.
+func orderSensitiveUse(p *Pass, n ast.Node, obj types.Object) (ast.Node, bool) {
+	var hit ast.Node
+	var visit func(x ast.Node) bool
+	visit = func(x ast.Node) bool {
+		if hit != nil || x == nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			// s = append(s, ...): self-append keeps accumulating; the
+			// appended values are judged when the slice is finally used.
+			if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+				if id, ok := x.Lhs[0].(*ast.Ident); ok && objOf(p, id) == obj {
+					if call, ok := x.Rhs[0].(*ast.CallExpr); ok && isAppendOf(p, call, obj) {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// len(s) / cap(s) cannot observe order.
+			if isBuiltinCall(p.Info, x, "len") || isBuiltinCall(p.Info, x, "cap") {
+				return false
+			}
+		case *ast.Ident:
+			if p.Info.Uses[x] == obj {
+				hit = x
+				return false
+			}
+		}
+		for _, child := range childNodes(x) {
+			visit(child)
+		}
+		return false
+	}
+	visit(n)
+	return hit, hit != nil
+}
+
+// childNodes lists x's direct AST children (via ast.Inspect depth
+// trickery kept simple: one-level Inspect).
+func childNodes(x ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(x, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		out = append(out, n)
+		return false
+	})
+	return out
+}
+
+// isOrderSink reports whether call writes its arguments somewhere
+// order matters: fmt.Fprint*/Print* and any method named Write*.
+func isOrderSink(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && strings.HasPrefix(fn.Name(), "Write") {
+		return true
+	}
+	return false
+}
+
+// loopVars returns the objects bound by the loop's key/value idents.
+func loopVars(p *Pass, loop *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{loop.Key, loop.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := objOf(p, id); obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// objOf resolves an ident to its object, whether this is a defining
+// (`:=`) or using occurrence.
+func objOf(p *Pass, id *ast.Ident) types.Object {
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// usesAnyObj reports whether n uses any of objs.
+func usesAnyObj(p *Pass, n ast.Node, objs []types.Object) bool {
+	for _, o := range objs {
+		if usesObj(p, n, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAppendOf reports whether call is append(obj, ...).
+func isAppendOf(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if !isBuiltinCall(p.Info, call, "append") || len(call.Args) == 0 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && p.Info.Uses[arg] == obj
+}
+
+// isMapType reports whether expr has an underlying map type.
+func isMapType(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isSliceType reports whether t's underlying type is a slice.
+func isSliceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/ast"
 	"testing"
 )
 
@@ -44,4 +45,61 @@ func TestRepoIsLintClean(t *testing.T) {
 		}
 	}
 	t.Logf("suite clean: %d analyzers over %d packages, %d reasoned suppressions", len(All()), len(mod.Packages), suppressed)
+}
+
+// TestSuiteRoster pins the registered analyzer set: adding an
+// analyzer means registering it in All(), giving it a fixture
+// (TestFixtures enforces that) and listing it here and in DESIGN.md §8.
+func TestSuiteRoster(t *testing.T) {
+	want := []string{
+		"floatcmp", "globalrand", "layering", "errcheck", "copylockplus",
+		"ctxflow", "spanend", "maporder", "lockguard", "goleak", "allochot",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("analyzer %d = %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+// TestHotAnnotationsPresent pins the //epoc:hot seed set: the GRAPE
+// propagator path and the dense linalg kernels must stay annotated so
+// allochot keeps watching them (acceptance criterion for the
+// hot-path allocation budget).
+func TestHotAnnotationsPresent(t *testing.T) {
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root, modPath)
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	want := map[string][]string{
+		"internal/qoc":    {"grapeFrom", "traceProduct"},
+		"internal/linalg": {"Mul", "MulVec", "Transpose", "Adjoint", "Kron", "expIFromEig"},
+	}
+	for rel, fns := range want {
+		pkg := mod.Packages[modPath+"/"+rel]
+		if pkg == nil {
+			t.Fatalf("package %s missing", rel)
+		}
+		hot := map[string]bool{}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && isHotFunc(fn) {
+					hot[fn.Name.Name] = true
+				}
+			}
+		}
+		for _, name := range fns {
+			if !hot[name] {
+				t.Errorf("%s.%s has lost its //epoc:hot annotation", rel, name)
+			}
+		}
+	}
 }

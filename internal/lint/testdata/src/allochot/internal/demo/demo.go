@@ -1,0 +1,114 @@
+// Package demo exercises the allochot analyzer: functions annotated
+// //epoc:hot must not allocate inside their loops.
+package demo
+
+type point struct{ x, y float64 }
+
+// AxpyInPlace is the shape hot kernels should have: all memory comes
+// from the caller, the loop only indexes.
+//
+//epoc:hot
+func AxpyInPlace(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// MakePerIter allocates a fresh row every pass.
+//
+//epoc:hot
+func MakePerIter(n int, rows [][]float64) {
+	for i := 0; i < n; i++ {
+		row := make([]float64, n) // want "allochot: make inside a hot loop"
+		rows[i] = row
+	}
+}
+
+// AppendGrow grows a slice inside the loop.
+//
+//epoc:hot
+func AppendGrow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "allochot: append inside a hot loop"
+	}
+	return out
+}
+
+// NewPerIter boxes a fresh value each pass.
+//
+//epoc:hot
+func NewPerIter(n int, sink []*int) {
+	for i := 0; i < n; i++ {
+		sink[i] = new(int) // want "allochot: new inside a hot loop"
+	}
+}
+
+// Lits builds a composite literal per iteration.
+//
+//epoc:hot
+func Lits(ps []point) float64 {
+	s := 0.0
+	for _, p := range ps {
+		q := point{p.x, p.y} // want "allochot: composite literal allocates inside a hot loop"
+		s += q.x
+	}
+	return s
+}
+
+// Closures captures per iteration.
+//
+//epoc:hot
+func Closures(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		f := func() float64 { return x } // want "allochot: closure allocated inside a hot loop"
+		s += f()
+	}
+	return s
+}
+
+// Boxing converts to an interface inside the loop.
+//
+//epoc:hot
+func Boxing(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		v := any(x) // want "allochot: conversion to an interface type boxes the value"
+		total += v.(int)
+	}
+	return total
+}
+
+// helper keeps its own allocation profile; calls are the callee's
+// business.
+func helper(x float64) float64 { return x * 2 }
+
+// Calls is clean: the loop body only calls and indexes.
+//
+//epoc:hot
+func Calls(a, b []float64) {
+	for i := range a {
+		a[i] = helper(b[i])
+	}
+}
+
+// Cold allocates freely: it never opted in.
+func Cold(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Hoisted allocates before the loop: clean.
+//
+//epoc:hot
+func Hoisted(n int) []float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	return buf
+}

@@ -1,0 +1,16 @@
+// Package demo is deliberately boring: nothing in it trips any
+// analyzer. The exit-code contract test in cmd/epoc-lint runs the
+// full suite over this tree and requires exit status 0.
+package demo
+
+// Add returns a+b.
+func Add(a, b int) int { return a + b }
+
+// Sum folds Add over xs.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total = Add(total, x)
+	}
+	return total
+}

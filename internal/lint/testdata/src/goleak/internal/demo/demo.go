@@ -1,0 +1,87 @@
+// Package demo exercises the goleak analyzer: every go statement
+// needs a detectable join path.
+package demo
+
+import (
+	"context"
+	"sync"
+)
+
+// FireAndForget spawns a goroutine nothing waits for.
+func FireAndForget() {
+	go func() { // want "goleak: goroutine has no detectable join"
+		_ = 1 + 1
+	}()
+}
+
+// WaitGroupJoin is the canonical pattern: Add at the spawn site, Done
+// in the goroutine, Wait to join.
+func WaitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// SendJoin hands its result to a channel the caller drains.
+func SendJoin() <-chan int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return ch
+}
+
+// CloseJoin signals termination by closing the channel.
+func CloseJoin() <-chan struct{} {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	return done
+}
+
+// CtxJoin ties the goroutine's lifetime to a cancelable context.
+func CtxJoin(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// worker signals through the channel it is handed.
+func worker(ch chan<- int) { ch <- 1 }
+
+// NamedJoin spawns a declared function; the join evidence lives in
+// the callee and is found through the call graph.
+func NamedJoin() {
+	ch := make(chan int)
+	go worker(ch)
+	<-ch
+}
+
+// spin never signals anything.
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// NamedLeak spawns a declared function with no join path anywhere in
+// its reachable call graph.
+func NamedLeak() {
+	go spin() // want "goleak: goroutine has no detectable join"
+}
+
+// Indirect spawns through a function value the analyzer cannot
+// resolve; no evidence means a finding.
+func Indirect(fn func()) {
+	go fn() // want "goleak: goroutine has no detectable join"
+}
+
+// step wraps the worker one call deep: the search is transitive.
+func step(ch chan<- int) { worker(ch) }
+
+// DeepJoin joins through an intermediate callee.
+func DeepJoin() {
+	ch := make(chan int)
+	go step(ch)
+	<-ch
+}

@@ -1,0 +1,68 @@
+// Package demo exercises the lockguard analyzer's explicit mode: a
+// `// guards:` comment on the mutex field ties it to the fields it
+// protects.
+package demo
+
+import "sync"
+
+// Counter demonstrates the explicit tie. name sits outside the
+// guards list and may be read freely (it is set once at construction).
+type Counter struct {
+	mu   sync.Mutex // guards: n, last
+	n    int
+	last string
+
+	name string
+}
+
+// Inc holds the lock across both guarded writes: clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.last = "inc"
+	c.mu.Unlock()
+}
+
+// DeferStyle uses the deferred unlock; the lock is held until return.
+func (c *Counter) DeferStyle() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last = "peek"
+	return c.last
+}
+
+// Bad reads a guarded field with no lock at all.
+func (c *Counter) Bad() int {
+	return c.n // want "lockguard: field n is guarded by mu"
+}
+
+// AfterUnlock releases the lock and keeps writing.
+func (c *Counter) AfterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.last = "late" // want "lockguard: field last is guarded by mu"
+}
+
+// BranchBad only locks on one path; at the join the lock may not be
+// held.
+func (c *Counter) BranchBad(lock bool) int {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want "lockguard: field n is guarded by mu"
+}
+
+// value is lock-free by contract. The caller must hold c.mu.
+func (c *Counter) value() int { return c.n }
+
+// Snapshot composes the documented helper under the lock: clean.
+func (c *Counter) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value()
+}
+
+// Name reads an unguarded field: clean.
+func (c *Counter) Name() string { return c.name }

@@ -1,0 +1,33 @@
+// Package serve exercises the lockguard adjacency mode: in
+// internal/serve (and internal/store, internal/pulse) the fields
+// following a mu field up to the first blank line are implicitly
+// guarded by it — no comment required.
+package serve
+
+import "sync"
+
+// Server uses the adjacency idiom: jobs and count ride directly under
+// mu; addr sits after the blank line and is unguarded.
+type Server struct {
+	mu    sync.Mutex
+	jobs  map[string]int
+	count int
+
+	addr string
+}
+
+// Add mutates the guarded block under the lock: clean.
+func (s *Server) Add(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[id]++
+	s.count++
+}
+
+// Peek reads the guarded map without locking.
+func (s *Server) Peek(id string) int {
+	return s.jobs[id] // want "lockguard: field jobs is guarded by mu"
+}
+
+// Addr reads past the blank-line cutoff: clean.
+func (s *Server) Addr() string { return s.addr }

@@ -1,0 +1,79 @@
+// Package demo exercises the maporder analyzer: values iterated out
+// of a map must not reach an order-sensitive sink unsorted.
+package demo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Emit writes each entry as it comes off the map: randomized order.
+func Emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "maporder: write inside map iteration"
+	}
+}
+
+// Hash feeds map keys to a hash in iteration order: the digest is
+// different on every run.
+func Hash(m map[string]bool) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want "maporder: write inside map iteration"
+	}
+	return h.Sum64()
+}
+
+// Unsorted returns the accumulated keys without sorting them.
+func Unsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "maporder: slice keys accumulates map-iteration values"
+	}
+	return keys
+}
+
+// MaybeSorted sorts on one branch only; the other path leaks map
+// order to the caller.
+func MaybeSorted(m map[string]int, doSort bool) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "maporder: slice keys accumulates map-iteration values"
+	}
+	if doSort {
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// Sorted is the canonical clean pattern: collect, sort, then use.
+func Sorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Count only observes cardinality; `for range` binds nothing.
+func Count(w io.Writer, m map[string]int) {
+	n := 0
+	for range m {
+		n++
+	}
+	fmt.Fprintln(w, n)
+}
+
+// LenOnly uses the slice in order-blind ways only.
+func LenOnly(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return len(keys)
+}

@@ -101,7 +101,12 @@ func GRAPE(m *Model, target *linalg.Matrix, slots int, cfg GRAPEConfig) Result {
 }
 
 // grapeFrom runs the GRAPE ascent from an explicit initial amplitude
-// schedule (mutated in place as the working buffer).
+// schedule (mutated in place as the working buffer). The ascent loop
+// is the pipeline's hottest path: per-iteration memory comes from the
+// workspaces allocated up front or from the linalg kernels' own
+// (annotated) allocations, never from this loop body.
+//
+//epoc:hot
 func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfig) Result {
 	cfg.defaults()
 	if target.Rows != m.Dim() {
@@ -116,12 +121,8 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 	if lr == 0 {
 		lr = 0.02
 	}
-	mAdam := make([][]float64, slots)
-	vAdam := make([][]float64, slots)
-	for k := range mAdam {
-		mAdam[k] = make([]float64, nc)
-		vAdam[k] = make([]float64, nc)
-	}
+	mAdam := makeGrid(slots, nc)
+	vAdam := makeGrid(slots, nc)
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 
 	steps := make([]*linalg.Matrix, slots)
@@ -230,7 +231,19 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 	return best
 }
 
+// makeGrid allocates a zeroed slots×nc working grid (one row per time
+// slot, one column per control).
+func makeGrid(slots, nc int) [][]float64 {
+	g := make([][]float64, slots)
+	for k := range g {
+		g[k] = make([]float64, nc)
+	}
+	return g
+}
+
 // traceProduct returns tr(a·b) without materializing the product.
+//
+//epoc:hot
 func traceProduct(a, b *linalg.Matrix) complex128 {
 	var s complex128
 	n := a.Rows

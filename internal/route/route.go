@@ -69,9 +69,15 @@ func Grid(rows, cols int) *Topology {
 	return NewTopology(rows*cols, edges)
 }
 
-// computeDistances runs BFS from every vertex.
+// computeDistances runs BFS from every vertex. Neighbors are expanded
+// in sorted order so the traversal (and anything that later keys off
+// it) is independent of map iteration order.
 func (t *Topology) computeDistances() {
 	t.dist = make([][]int, t.N)
+	sorted := make([][]int, t.N)
+	for v := 0; v < t.N; v++ {
+		sorted[v] = t.Neighbors(v)
+	}
 	for s := 0; s < t.N; s++ {
 		d := make([]int, t.N)
 		for i := range d {
@@ -82,7 +88,7 @@ func (t *Topology) computeDistances() {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for w := range t.adj[v] {
+			for _, w := range sorted[v] {
 				if d[w] == -1 {
 					d[w] = d[v] + 1
 					queue = append(queue, w)

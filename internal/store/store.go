@@ -249,6 +249,8 @@ func (s *Store) Flush() error {
 	return s.flushLocked()
 }
 
+// flushLocked does the staged-record write-out. The caller must hold
+// s.mu.
 func (s *Store) flushLocked() error {
 	if s.closed {
 		return fmt.Errorf("store: flush on closed store")

@@ -1,6 +1,9 @@
 package zx
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // ToGraphLike rewrites the diagram so that every spider is a Z-spider
 // and every spider-spider edge is a Hadamard edge: X-spiders are
@@ -287,6 +290,12 @@ func (g *Graph) pivot(u, v int) {
 			b = append(b, w)
 		}
 	}
+	// The toggles and phase shifts below are commutative, but sorted
+	// sets keep the rewrite trace (and any future order-sensitive use)
+	// independent of map iteration order.
+	sort.Ints(a)
+	sort.Ints(b)
+	sort.Ints(c)
 	for _, x := range a {
 		for _, y := range b {
 			g.toggleHEdge(x, y)
