@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test race test-leak bench bench-json bench-gate store-warm-gate fuzz serve smoke-serve ci
+.PHONY: all build vet lint lint-fixtures test race test-leak bench bench-kernels bench-json bench-gate store-warm-gate fuzz serve smoke-serve ci
 
 all: build vet lint test
 
@@ -45,6 +45,14 @@ test-leak:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Kernel-layer microbenchmarks (DESIGN.md §14): the unrolled/blocked
+# matmul paths and exponentials against the naive and pre-kernel
+# baselines, plus the cached GRAPE propagator loop. -benchmem makes the
+# zero-allocation claim visible in the output.
+bench-kernels:
+	$(GO) test -run='^$$' -bench='^BenchmarkKernel|^BenchmarkNaive|^BenchmarkPrePR' \
+		-benchmem ./internal/linalg/kerneltest ./internal/qoc
+
 # Machine-readable benchmark artifact: the small suite (Table 1
 # circuits, estimate mode) as bench/BENCH_small.json. Deterministic
 # metrics (latency, fidelity, counts) are byte-stable across machines;
@@ -72,11 +80,13 @@ store-warm-gate:
 	$(GO) run ./cmd/epoc-bench -suite small -store $(CURDIR)/.store-warm \
 		-baseline bench/baseline/BENCH_small_warm.json
 
-# Native Go fuzzing of the QASM parser and the store record codec
-# (bounded; CI runs the same targets on every push).
+# Native Go fuzzing of the QASM parser, the store record codec and the
+# linalg kernel layer (bounded; CI runs the same targets on every push).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=30s ./internal/qasm
 	$(GO) test -run='^$$' -fuzz=FuzzStoreDecode -fuzztime=30s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzKernelMatmul -fuzztime=30s ./internal/linalg/kerneltest
+	$(GO) test -run='^$$' -fuzz=FuzzKernelExpm -fuzztime=30s ./internal/linalg/kerneltest
 
 # Run the compile service locally (see SERVING.md for the API).
 serve:

@@ -18,12 +18,48 @@ import (
 	"epoc/internal/circuit"
 	"epoc/internal/gate"
 	"epoc/internal/linalg"
+	"epoc/internal/linalg/kernel"
 )
 
 // Density is an n-qubit density matrix.
 type Density struct {
 	N   int
 	Rho *linalg.Matrix
+
+	// Conjugation scratch, allocated on first use: every channel is a
+	// sum of B·ρ·B† terms, and routing them through the workspace
+	// kernels with persistent buffers keeps schedule replays (one
+	// conjugation per pulse step) allocation-light.
+	ws       *kernel.Workspace
+	tmp, out *linalg.Matrix
+}
+
+// ensureScratch lazily allocates the conjugation buffers so literal
+// construction of Density (tests, callers that only read ρ) stays valid.
+func (d *Density) ensureScratch() {
+	if d.ws == nil {
+		dim := d.Rho.Rows
+		d.ws = kernel.NewWorkspace()
+		d.tmp = linalg.NewMatrix(dim, dim)
+		d.out = linalg.NewMatrix(dim, dim)
+	}
+}
+
+// conjugate sets ρ ← b·ρ·b† with the fused adjoint kernel (b† is never
+// materialized), swapping ρ with the scratch output instead of copying.
+func (d *Density) conjugate(b *linalg.Matrix) {
+	d.ensureScratch()
+	linalg.MulInto(d.ws, d.tmp, b, d.Rho)
+	linalg.MulAdjointInto(d.out, d.tmp, b)
+	d.Rho, d.out = d.out, d.Rho
+}
+
+// conjugateAdd adds b·ρ·b† into dst without touching ρ.
+func (d *Density) conjugateAdd(dst *linalg.Matrix, b *linalg.Matrix) {
+	d.ensureScratch()
+	linalg.MulInto(d.ws, d.tmp, b, d.Rho)
+	linalg.MulAdjointInto(d.out, d.tmp, b)
+	dst.AddInPlace(d.out)
 }
 
 // NewDensity returns |0…0⟩⟨0…0| on n qubits.
@@ -54,9 +90,14 @@ func FromPure(amp []complex128) *Density {
 }
 
 // ApplyUnitary conjugates ρ by a unitary on the listed target qubits.
+// The schedule-replay loop calls this once per pulse step; only the
+// operator embedding allocates, the conjugation itself runs in the
+// reused scratch.
+//
+//epoc:hot
 func (d *Density) ApplyUnitary(u *linalg.Matrix, targets []int) {
 	big := linalg.EmbedOperator(u, targets, d.N)
-	d.Rho = big.Mul(d.Rho).Mul(big.Adjoint())
+	d.conjugate(big)
 }
 
 // ApplyOp applies one circuit op.
@@ -90,8 +131,7 @@ func (d *Density) Depolarize(p float64, targets []int) {
 			rem /= 4
 		}
 		big := linalg.EmbedOperator(op, targets, d.N)
-		term := big.Mul(d.Rho).Mul(big.Adjoint())
-		mixed.AddInPlace(term)
+		d.conjugateAdd(mixed, big)
 	}
 	mixed.ScaleInPlace(complex(1/float64(count), 0))
 	d.Rho = d.Rho.Scale(complex(1-p, 0)).Add(mixed.Scale(complex(p, 0)))
@@ -107,7 +147,17 @@ func (d *Density) AmplitudeDamp(gamma float64, q int) {
 	k1 := linalg.FromRows([][]complex128{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}})
 	b0 := linalg.EmbedOperator(k0, []int{q}, d.N)
 	b1 := linalg.EmbedOperator(k1, []int{q}, d.N)
-	d.Rho = b0.Mul(d.Rho).Mul(b0.Adjoint()).Add(b1.Mul(d.Rho).Mul(b1.Adjoint()))
+	d.applyKrausPair(b0, b1)
+}
+
+// applyKrausPair sets ρ ← b0·ρ·b0† + b1·ρ·b1† through the scratch
+// kernels.
+func (d *Density) applyKrausPair(b0, b1 *linalg.Matrix) {
+	d.ensureScratch()
+	sum := linalg.NewMatrix(d.Rho.Rows, d.Rho.Cols)
+	d.conjugateAdd(sum, b0)
+	d.conjugateAdd(sum, b1)
+	d.Rho = sum
 }
 
 // Dephase applies a phase-damping channel of strength λ on one qubit
@@ -120,7 +170,7 @@ func (d *Density) Dephase(lambda float64, q int) {
 	k1 := gate.New(gate.Z).Matrix().Scale(complex(math.Sqrt(lambda), 0))
 	b0 := linalg.EmbedOperator(k0, []int{q}, d.N)
 	b1 := linalg.EmbedOperator(k1, []int{q}, d.N)
-	d.Rho = b0.Mul(d.Rho).Mul(b0.Adjoint()).Add(b1.Mul(d.Rho).Mul(b1.Adjoint()))
+	d.applyKrausPair(b0, b1)
 }
 
 // Trace returns Tr(ρ) (1 for a valid state).

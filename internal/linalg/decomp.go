@@ -22,13 +22,25 @@ type LU struct {
 // LUDecompose factors the square matrix a with partial pivoting.
 func LUDecompose(a *Matrix) (*LU, error) {
 	mustSquare(a)
-	n := a.Rows
 	lu := a.Clone()
-	piv := make([]int, n)
+	piv := make([]int, a.Rows)
+	sign, err := luFactor(lu, piv)
+	if err != nil {
+		return nil, err
+	}
+	return &LU{LU: lu, Pivot: piv, Sign: sign}, nil
+}
+
+// luFactor factors lu in place with partial pivoting, filling piv
+// (len n) with the source row of each factored row. It is the
+// allocation-free core shared by LUDecompose and the workspace-backed
+// Padé solve in ExpmInto.
+func luFactor(lu *Matrix, piv []int) (sign int, err error) {
+	n := lu.Rows
 	for i := range piv {
 		piv[i] = i
 	}
-	sign := 1
+	sign = 1
 	for k := 0; k < n; k++ {
 		// Find pivot row.
 		p := k
@@ -41,7 +53,7 @@ func LUDecompose(a *Matrix) (*LU, error) {
 		}
 		//epoc:lint-ignore floatcmp pivot magnitude exactly 0 means structurally singular
 		if best == 0 {
-			return nil, ErrSingular
+			return sign, ErrSingular
 		}
 		if p != k {
 			swapRows(lu, p, k)
@@ -61,7 +73,32 @@ func LUDecompose(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{LU: lu, Pivot: piv, Sign: sign}, nil
+	return sign, nil
+}
+
+// luSolvePermuted substitutes through a factored matrix in place: x
+// must already hold the right-hand side permuted by the pivot order
+// (x[i] = b[piv[i]]) and is overwritten with the solution.
+func luSolvePermuted(lu *Matrix, x []complex128) {
+	n := lu.Rows
+	// Forward substitution (L is unit lower).
+	for i := 1; i < n; i++ {
+		var s complex128
+		row := lu.Data[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s complex128
+		row := lu.Data[i*n+i+1 : (i+1)*n]
+		for j, v := range row {
+			s += v * x[i+1+j]
+		}
+		x[i] = (x[i] - s) / lu.Data[i*n+i]
+	}
 }
 
 // Solve returns x with A·x = b for the factored matrix.
@@ -74,22 +111,7 @@ func (f *LU) Solve(b []complex128) []complex128 {
 	for i := 0; i < n; i++ {
 		x[i] = b[f.Pivot[i]]
 	}
-	// Forward substitution (L is unit lower).
-	for i := 1; i < n; i++ {
-		var s complex128
-		for j := 0; j < i; j++ {
-			s += f.LU.At(i, j) * x[j]
-		}
-		x[i] -= s
-	}
-	// Back substitution.
-	for i := n - 1; i >= 0; i-- {
-		var s complex128
-		for j := i + 1; j < n; j++ {
-			s += f.LU.At(i, j) * x[j]
-		}
-		x[i] = (x[i] - s) / f.LU.At(i, i)
-	}
+	luSolvePermuted(f.LU, x)
 	return x
 }
 

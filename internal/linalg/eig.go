@@ -3,7 +3,8 @@ package linalg
 import (
 	"math"
 	"math/cmplx"
-	"sort"
+
+	"epoc/internal/linalg/kernel"
 )
 
 // EigHermitian diagonalizes a Hermitian matrix using the cyclic complex
@@ -11,56 +12,88 @@ import (
 // matrix whose columns are the corresponding eigenvectors, so that
 // A = V · diag(vals) · V†.
 func EigHermitian(a *Matrix) (vals []float64, vecs *Matrix) {
+	vals = make([]float64, a.Rows)
+	vecs = NewMatrix(a.Rows, a.Rows)
+	EigHermitianInto(nil, a, vals, vecs)
+	return vals, vecs
+}
+
+// EigHermitianInto is EigHermitian writing into caller-owned vals
+// (length n) and vecs (n×n), with all temporaries drawn from ws (nil
+// allowed: falls back to allocation). This is the form the GRAPE
+// propagator loop calls once per changed time slot per iteration, so
+// with a warm workspace it allocates nothing.
+//
+//epoc:hot
+func EigHermitianInto(ws *kernel.Workspace, a *Matrix, vals []float64, vecs *Matrix) {
 	mustSquare(a)
 	n := a.Rows
-	w := a.Clone()
-	v := Identity(n)
+	if len(vals) != n || vecs.Rows != n || vecs.Cols != n {
+		panic("linalg: EigHermitianInto shape mismatch")
+	}
+	mark := ws.Mark()
+	defer ws.Rewind(mark)
+
+	w := matrixAt(ws, n, n)
+	copy(w.Data, a.Data)
+	v := matrixAt(ws, n, n)
+	for i := 0; i < n; i++ {
+		v.Data[i*n+i] = 1
+	}
 
 	const maxSweeps = 100
 	tol := 1e-14 * (1 + w.FrobeniusNorm())
 	for sweep := 0; sweep < maxSweeps; sweep++ {
-		off := offDiagNorm(w)
+		off := offDiagNorm(&w)
 		if off < tol {
 			break
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				jacobiRotate(w, v, p, q)
+				jacobiRotate(&w, &v, p, q)
 			}
 		}
 	}
 
-	vals = make([]float64, n)
+	raw := ws.TakeFloat(n)
 	for i := 0; i < n; i++ {
-		vals[i] = real(w.At(i, i))
+		raw[i] = real(w.At(i, i))
 	}
-	// Sort ascending, permuting eigenvector columns to match.
-	idx := make([]int, n)
+	// Sort ascending, permuting eigenvector columns to match. A stable
+	// insertion sort (n is a small power of two here) keeps degenerate
+	// eigenvalues in sweep order deterministically and, unlike
+	// sort.Slice, allocates nothing.
+	idx := ws.TakeInt(n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
-	sortedVals := make([]float64, n)
-	sortedVecs := NewMatrix(n, n)
-	for c, src := range idx {
-		sortedVals[c] = vals[src]
-		for r := 0; r < n; r++ {
-			sortedVecs.Set(r, c, v.At(r, src))
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && raw[idx[j]] < raw[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	return sortedVals, sortedVecs
+	for c, src := range idx {
+		vals[c] = raw[src]
+		for r := 0; r < n; r++ {
+			vecs.Data[r*n+c] = v.Data[r*n+src]
+		}
+	}
 }
 
 // jacobiRotate zeroes w[p][q] (and w[q][p]) with a complex Givens
-// rotation, accumulating the rotation into v.
+// rotation, accumulating the rotation into v. The three update sweeps
+// run over strided/contiguous slices directly: this is the inner loop
+// of every Hermitian exponential in the pipeline.
 func jacobiRotate(w, v *Matrix, p, q int) {
-	apq := w.At(p, q)
+	n := w.Rows
+	wd, vd := w.Data, v.Data
+	apq := wd[p*n+q]
 	r := cmplx.Abs(apq)
 	if r < 1e-300 {
 		return
 	}
-	app := real(w.At(p, p))
-	aqq := real(w.At(q, q))
+	app := real(wd[p*n+p])
+	aqq := real(wd[q*n+q])
 	phase := apq / complex(r, 0) // e^{iα}
 
 	tau := (aqq - app) / (2 * r)
@@ -74,48 +107,50 @@ func jacobiRotate(w, v *Matrix, p, q int) {
 	s := t * c
 
 	cc := complex(c, 0)
-	sePos := complex(s, 0) * phase             // s·e^{iα}
-	seNeg := complex(s, 0) * cmplx.Conj(phase) // s·e^{-iα}
+	sePos := complex(s, 0) * phase        // s·e^{iα}
+	seNeg := complex(s, 0) * conjc(phase) // s·e^{-iα}
 
-	n := w.Rows
 	// Column update: W <- W·R with R[p][p]=c, R[p][q]=s·e^{iα},
 	// R[q][p]=-s·e^{-iα}, R[q][q]=c.
-	for k := 0; k < n; k++ {
-		wkp := w.At(k, p)
-		wkq := w.At(k, q)
-		w.Set(k, p, cc*wkp-seNeg*wkq)
-		w.Set(k, q, sePos*wkp+cc*wkq)
+	for kp, kq := p, q; kp < n*n; kp, kq = kp+n, kq+n {
+		wkp, wkq := wd[kp], wd[kq]
+		wd[kp] = cc*wkp - seNeg*wkq
+		wd[kq] = sePos*wkp + cc*wkq
 	}
-	// Row update: W <- R†·W.
+	// Row update: W <- R†·W, rows p and q are contiguous.
+	rp := wd[p*n : (p+1)*n]
+	rq := wd[q*n : (q+1)*n]
 	for k := 0; k < n; k++ {
-		wpk := w.At(p, k)
-		wqk := w.At(q, k)
-		w.Set(p, k, cc*wpk-sePos*wqk)
-		w.Set(q, k, seNeg*wpk+cc*wqk)
+		wpk, wqk := rp[k], rq[k]
+		rp[k] = cc*wpk - sePos*wqk
+		rq[k] = seNeg*wpk + cc*wqk
 	}
 	// Force exact symmetry of the zeroed pair and realness of the diagonal.
-	w.Set(p, q, 0)
-	w.Set(q, p, 0)
-	w.Set(p, p, complex(real(w.At(p, p)), 0))
-	w.Set(q, q, complex(real(w.At(q, q)), 0))
+	rp[q] = 0
+	rq[p] = 0
+	rp[p] = complex(real(rp[p]), 0)
+	rq[q] = complex(real(rq[q]), 0)
 	// Accumulate eigenvectors: V <- V·R.
-	for k := 0; k < n; k++ {
-		vkp := v.At(k, p)
-		vkq := v.At(k, q)
-		v.Set(k, p, cc*vkp-seNeg*vkq)
-		v.Set(k, q, sePos*vkp+cc*vkq)
+	for kp, kq := p, q; kp < n*n; kp, kq = kp+n, kq+n {
+		vkp, vkq := vd[kp], vd[kq]
+		vd[kp] = cc*vkp - seNeg*vkq
+		vd[kq] = sePos*vkp + cc*vkq
 	}
 }
+
+// conjc is a call-free complex conjugate for the rotation kernels.
+func conjc(v complex128) complex128 { return complex(real(v), -imag(v)) }
 
 func offDiagNorm(m *Matrix) float64 {
 	var s float64
 	n := m.Rows
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+		row := m.Data[i*n : (i+1)*n]
+		for j, v := range row {
 			if i == j {
 				continue
 			}
-			s += absSq(m.At(i, j))
+			s += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
 	return math.Sqrt(s)

@@ -3,13 +3,30 @@ package linalg
 import (
 	"math"
 	"math/cmplx"
+
+	"epoc/internal/linalg/kernel"
 )
 
 // Expm returns the matrix exponential e^A computed with the
 // scaling-and-squaring algorithm and a degree-13 Padé approximant
 // (Higham 2005). It works for arbitrary square complex matrices.
 func Expm(a *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, a.Rows)
+	ExpmInto(nil, out, a)
+	return out
+}
+
+// ExpmInto is Expm writing into a caller-owned dst with every
+// temporary — Padé powers, the LU factorization of the denominator and
+// the squaring ping-pong buffers — drawn from ws (nil allowed). dst
+// must be pre-shaped n×n and must not alias a.
+func ExpmInto(ws *kernel.Workspace, dst, a *Matrix) {
 	mustSquare(a)
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("linalg: ExpmInto shape mismatch")
+	}
+	mark := ws.Mark()
+	defer ws.Rewind(mark)
 	n := a.Rows
 	norm := a.OneNorm()
 
@@ -22,21 +39,30 @@ func Expm(a *Matrix) *Matrix {
 
 	for _, p := range table[:4] {
 		if norm <= p.theta {
-			return padeApprox(a, p.m)
+			padeInto(ws, dst, a, p.m)
+			return
 		}
 	}
-	// Scale so the norm falls below theta13, square back afterwards.
+	// Scale so the norm falls below theta13, square back afterwards:
+	// the scaling-and-squaring core. The squaring loop ping-pongs
+	// between dst and one workspace buffer, so no product allocates.
 	s := 0
 	if norm > table[4].theta {
 		s = int(math.Ceil(math.Log2(norm / table[4].theta)))
 	}
-	scaled := a.Scale(complex(math.Pow(2, -float64(s)), 0))
-	e := padeApprox(scaled, 13)
+	scaled := matrixAt(ws, n, n)
+	copy(scaled.Data, a.Data)
+	scaled.ScaleInPlace(complex(math.Pow(2, -float64(s)), 0))
+	padeInto(ws, dst, &scaled, 13)
+	tmp := matrixAt(ws, n, n)
+	cur, oth := dst, &tmp
 	for i := 0; i < s; i++ {
-		e = e.Mul(e)
+		MulInto(ws, oth, cur, cur)
+		cur, oth = oth, cur
 	}
-	_ = n
-	return e
+	if cur != dst {
+		copy(dst.Data, cur.Data)
+	}
 }
 
 // padeCoeffs returns the Padé numerator coefficients for order m.
@@ -56,45 +82,103 @@ func padeCoeffs(m int) []float64 {
 	panic("linalg: unsupported Padé order")
 }
 
-func padeApprox(a *Matrix, m int) *Matrix {
+// padeInto writes the order-m Padé approximant of e^a into dst using
+// only workspace temporaries.
+func padeInto(ws *kernel.Workspace, dst, a *Matrix, m int) {
 	c := padeCoeffs(m)
 	n := a.Rows
-	a2 := a.Mul(a)
+	mark := ws.Mark()
+	defer ws.Rewind(mark)
 
-	var u, v *Matrix
+	a2 := matrixAt(ws, n, n)
+	MulInto(ws, &a2, a, a)
+	u := matrixAt(ws, n, n)
+	v := matrixAt(ws, n, n)
+
 	if m == 13 {
-		a4 := a2.Mul(a2)
-		a6 := a4.Mul(a2)
+		a4 := matrixAt(ws, n, n)
+		MulInto(ws, &a4, &a2, &a2)
+		a6 := matrixAt(ws, n, n)
+		MulInto(ws, &a6, &a4, &a2)
 		// U = A·(A6·(c13·A6 + c11·A4 + c9·A2) + c7·A6 + c5·A4 + c3·A2 + c1·I)
-		inner := a6.Scale(complex(c[13], 0)).Add(a4.Scale(complex(c[11], 0))).Add(a2.Scale(complex(c[9], 0)))
-		u = a.Mul(a6.Mul(inner).Add(a6.Scale(complex(c[7], 0))).Add(a4.Scale(complex(c[5], 0))).Add(a2.Scale(complex(c[3], 0))).Add(Identity(n).Scale(complex(c[1], 0))))
-		innerV := a6.Scale(complex(c[12], 0)).Add(a4.Scale(complex(c[10], 0))).Add(a2.Scale(complex(c[8], 0)))
-		v = a6.Mul(innerV).Add(a6.Scale(complex(c[6], 0))).Add(a4.Scale(complex(c[4], 0))).Add(a2.Scale(complex(c[2], 0))).Add(Identity(n).Scale(complex(c[0], 0)))
+		inner := matrixAt(ws, n, n)
+		lincomb3(&inner, &a6, c[13], &a4, c[11], &a2, c[9])
+		t := matrixAt(ws, n, n)
+		MulInto(ws, &t, &a6, &inner)
+		addLincomb3(&t, &a6, c[7], &a4, c[5], &a2, c[3])
+		addDiag(&t, c[1])
+		MulInto(ws, &u, a, &t)
+		// V = A6·(c12·A6 + c10·A4 + c8·A2) + c6·A6 + c4·A4 + c2·A2 + c0·I
+		lincomb3(&inner, &a6, c[12], &a4, c[10], &a2, c[8])
+		MulInto(ws, &v, &a6, &inner)
+		addLincomb3(&v, &a6, c[6], &a4, c[4], &a2, c[2])
+		addDiag(&v, c[0])
 	} else {
 		// U = A·Σ c[2k+1] A^{2k}, V = Σ c[2k] A^{2k}.
-		pow := Identity(n)
-		usum := NewMatrix(n, n)
-		vsum := NewMatrix(n, n)
+		powA := matrixAt(ws, n, n)
+		for i := 0; i < n; i++ {
+			powA.Data[i*n+i] = 1
+		}
+		powB := matrixAt(ws, n, n)
+		usum := matrixAt(ws, n, n)
+		pow, powNext := &powA, &powB
 		for k := 0; 2*k <= m; k++ {
 			if 2*k+1 <= m {
-				usum.AddInPlace(pow.Scale(complex(c[2*k+1], 0)))
+				kernel.Axpy(usum.Data, pow.Data, complex(c[2*k+1], 0))
 			}
-			vsum.AddInPlace(pow.Scale(complex(c[2*k], 0)))
+			kernel.Axpy(v.Data, pow.Data, complex(c[2*k], 0))
 			if 2*(k+1) <= m {
-				pow = pow.Mul(a2)
+				MulInto(ws, powNext, pow, &a2)
+				pow, powNext = powNext, pow
 			}
 		}
-		u = a.Mul(usum)
-		v = vsum
+		MulInto(ws, &u, a, &usum)
 	}
-	// e^A ≈ (V - U)⁻¹ (V + U)
-	num := v.Add(u)
-	den := v.Sub(u)
-	f, err := LUDecompose(den)
-	if err != nil {
+	// e^A ≈ (V - U)⁻¹ (V + U): factor V-U in place and solve into dst.
+	num := matrixAt(ws, n, n)
+	for i := range num.Data {
+		num.Data[i] = v.Data[i] + u.Data[i]
+		v.Data[i] -= u.Data[i] // v becomes the denominator
+	}
+	piv := ws.TakeInt(n)
+	if _, err := luFactor(&v, piv); err != nil {
 		panic("linalg: Expm Padé denominator singular")
 	}
-	return f.SolveMatrix(num)
+	b := ws.TakeComplex(n)
+	for j := 0; j < n; j++ {
+		// Gather column j already row-permuted, then substitute in place.
+		for i := 0; i < n; i++ {
+			b[i] = num.Data[piv[i]*n+j]
+		}
+		luSolvePermuted(&v, b)
+		for i := 0; i < n; i++ {
+			dst.Data[i*n+j] = b[i]
+		}
+	}
+}
+
+// lincomb3 sets dst = s1·m1 + s2·m2 + s3·m3 element-wise.
+func lincomb3(dst, m1 *Matrix, s1 float64, m2 *Matrix, s2 float64, m3 *Matrix, s3 float64) {
+	c1, c2, c3 := complex(s1, 0), complex(s2, 0), complex(s3, 0)
+	for i := range dst.Data {
+		dst.Data[i] = c1*m1.Data[i] + c2*m2.Data[i] + c3*m3.Data[i]
+	}
+}
+
+// addLincomb3 adds s1·m1 + s2·m2 + s3·m3 into dst element-wise.
+func addLincomb3(dst, m1 *Matrix, s1 float64, m2 *Matrix, s2 float64, m3 *Matrix, s3 float64) {
+	c1, c2, c3 := complex(s1, 0), complex(s2, 0), complex(s3, 0)
+	for i := range dst.Data {
+		dst.Data[i] += c1*m1.Data[i] + c2*m2.Data[i] + c3*m3.Data[i]
+	}
+}
+
+// addDiag adds s·I into dst.
+func addDiag(dst *Matrix, s float64) {
+	n := dst.Rows
+	for i := 0; i < n; i++ {
+		dst.Data[i*n+i] += complex(s, 0)
+	}
 }
 
 // ExpIHermitian returns e^{i·s·H} for Hermitian H via eigendecomposition.
@@ -102,8 +186,27 @@ func padeApprox(a *Matrix, m int) *Matrix {
 // unitary up to eigensolver accuracy, and cheaper than Padé when the
 // same H is exponentiated at several scales).
 func ExpIHermitian(h *Matrix, s float64) *Matrix {
-	vals, vecs := EigHermitian(h)
-	return expIFromEig(vals, vecs, s)
+	out := NewMatrix(h.Rows, h.Rows)
+	ExpIHermitianInto(nil, out, h, s)
+	return out
+}
+
+// ExpIHermitianInto is ExpIHermitian writing into a caller-owned dst
+// with eigendecomposition temporaries drawn from ws. It is the slice
+// propagator of the GRAPE hot loop: with a warm workspace one call
+// performs the Jacobi sweeps, the phase scaling and one fused a·b†
+// product with zero allocations.
+//
+//epoc:hot
+func ExpIHermitianInto(ws *kernel.Workspace, dst, h *Matrix, s float64) {
+	mustSquare(h)
+	n := h.Rows
+	mark := ws.Mark()
+	defer ws.Rewind(mark)
+	vals := ws.TakeFloat(n)
+	vecs := matrixAt(ws, n, n)
+	EigHermitianInto(ws, h, vals, &vecs)
+	ExpIFromEigInto(ws, dst, vals, &vecs, s)
 }
 
 // HermitianEig bundles a reusable eigendecomposition of a Hermitian
@@ -121,29 +224,30 @@ func NewHermitianEig(h *Matrix) *HermitianEig {
 
 // ExpI returns e^{i·s·H} from the stored eigendecomposition.
 func (e *HermitianEig) ExpI(s float64) *Matrix {
-	return expIFromEig(e.Vals, e.Vecs, s)
+	out := NewMatrix(e.Vecs.Rows, e.Vecs.Rows)
+	ExpIFromEigInto(nil, out, e.Vals, e.Vecs, s)
+	return out
 }
 
-// expIFromEig reconstructs e^{i·s·H} = V·diag(e^{i·s·λ})·V† from an
-// eigendecomposition. It runs once per time slot per GRAPE iteration.
+// ExpIFromEigInto reconstructs e^{i·s·H} = V·diag(e^{i·s·λ})·V† from an
+// eigendecomposition: it scales V's columns by the phases into a
+// workspace buffer, then runs one fused MulAdjoint — two dense passes
+// instead of the rank-1 accumulation a naive reconstruction does.
 //
 //epoc:hot
-func expIFromEig(vals []float64, vecs *Matrix, s float64) *Matrix {
+func ExpIFromEigInto(ws *kernel.Workspace, dst *Matrix, vals []float64, vecs *Matrix, s float64) {
 	n := len(vals)
-	// V · diag(e^{i s λ}) · V†
-	out := NewMatrix(n, n)
+	if vecs.Rows != n || vecs.Cols != n || dst.Rows != n || dst.Cols != n {
+		panic("linalg: ExpIFromEigInto shape mismatch")
+	}
+	mark := ws.Mark()
+	defer ws.Rewind(mark)
+	b := matrixAt(ws, n, n)
 	for k := 0; k < n; k++ {
 		ph := cmplx.Exp(complex(0, s*vals[k]))
-		for i := 0; i < n; i++ {
-			vik := vecs.At(i, k) * ph
-			//epoc:lint-ignore floatcmp exact-zero sparsity fast path; skipping a zero term is exact
-			if vik == 0 {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				out.Data[i*n+j] += vik * cmplx.Conj(vecs.At(j, k))
-			}
+		for i, j := k, 0; j < n; i, j = i+n, j+1 {
+			b.Data[i] = vecs.Data[i] * ph
 		}
 	}
-	return out
+	MulAdjointInto(dst, &b, vecs)
 }

@@ -1,0 +1,94 @@
+package kernel
+
+// Fully unrolled fast paths for the 1–3 qubit (2×2, 4×4, 8×8) dense
+// products that dominate GRAPE propagation, VUG instantiation and
+// density simulation. Operands arrive as fixed-size array pointers so
+// every index is a compile-time constant: no bounds checks, no loop
+// counters in the 2×2/4×4 bodies, and the 8×8 row loop unrolls k and j
+// completely. Summation over the shared dimension is in ascending
+// order, fixed per size, so the fast paths are bit-deterministic.
+
+// mul2 computes dst = a·b for 2×2.
+func mul2(dst, a, b *[4]complex128) {
+	a0, a1 := a[0], a[1]
+	dst[0] = a0*b[0] + a1*b[2]
+	dst[1] = a0*b[1] + a1*b[3]
+	a0, a1 = a[2], a[3]
+	dst[2] = a0*b[0] + a1*b[2]
+	dst[3] = a0*b[1] + a1*b[3]
+}
+
+// mul4 computes dst = a·b for 4×4, fully unrolled with every index a
+// constant. All of b is hoisted into locals first: dst may not alias
+// the operands by contract, but the compiler cannot know that, and
+// without the hoist every store to dst forces b's entries to be
+// reloaded on the next row.
+func mul4(dst, a, b *[16]complex128) {
+	b0, b1, b2, b3 := b[0], b[1], b[2], b[3]
+	b4, b5, b6, b7 := b[4], b[5], b[6], b[7]
+	b8, b9, b10, b11 := b[8], b[9], b[10], b[11]
+	b12, b13, b14, b15 := b[12], b[13], b[14], b[15]
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	dst[0] = a0*b0 + a1*b4 + a2*b8 + a3*b12
+	dst[1] = a0*b1 + a1*b5 + a2*b9 + a3*b13
+	dst[2] = a0*b2 + a1*b6 + a2*b10 + a3*b14
+	dst[3] = a0*b3 + a1*b7 + a2*b11 + a3*b15
+	a0, a1, a2, a3 = a[4], a[5], a[6], a[7]
+	dst[4] = a0*b0 + a1*b4 + a2*b8 + a3*b12
+	dst[5] = a0*b1 + a1*b5 + a2*b9 + a3*b13
+	dst[6] = a0*b2 + a1*b6 + a2*b10 + a3*b14
+	dst[7] = a0*b3 + a1*b7 + a2*b11 + a3*b15
+	a0, a1, a2, a3 = a[8], a[9], a[10], a[11]
+	dst[8] = a0*b0 + a1*b4 + a2*b8 + a3*b12
+	dst[9] = a0*b1 + a1*b5 + a2*b9 + a3*b13
+	dst[10] = a0*b2 + a1*b6 + a2*b10 + a3*b14
+	dst[11] = a0*b3 + a1*b7 + a2*b11 + a3*b15
+	a0, a1, a2, a3 = a[12], a[13], a[14], a[15]
+	dst[12] = a0*b0 + a1*b4 + a2*b8 + a3*b12
+	dst[13] = a0*b1 + a1*b5 + a2*b9 + a3*b13
+	dst[14] = a0*b2 + a1*b6 + a2*b10 + a3*b14
+	dst[15] = a0*b3 + a1*b7 + a2*b11 + a3*b15
+}
+
+// mul8 computes dst = a·b for 8×8.
+func mul8(dst, a, b *[64]complex128) {
+	for i := 0; i < 64; i += 8 {
+		a0, a1, a2, a3 := a[i], a[i+1], a[i+2], a[i+3]
+		a4, a5, a6, a7 := a[i+4], a[i+5], a[i+6], a[i+7]
+		dst[i+0] = a0*b[0] + a1*b[8] + a2*b[16] + a3*b[24] + a4*b[32] + a5*b[40] + a6*b[48] + a7*b[56]
+		dst[i+1] = a0*b[1] + a1*b[9] + a2*b[17] + a3*b[25] + a4*b[33] + a5*b[41] + a6*b[49] + a7*b[57]
+		dst[i+2] = a0*b[2] + a1*b[10] + a2*b[18] + a3*b[26] + a4*b[34] + a5*b[42] + a6*b[50] + a7*b[58]
+		dst[i+3] = a0*b[3] + a1*b[11] + a2*b[19] + a3*b[27] + a4*b[35] + a5*b[43] + a6*b[51] + a7*b[59]
+		dst[i+4] = a0*b[4] + a1*b[12] + a2*b[20] + a3*b[28] + a4*b[36] + a5*b[44] + a6*b[52] + a7*b[60]
+		dst[i+5] = a0*b[5] + a1*b[13] + a2*b[21] + a3*b[29] + a4*b[37] + a5*b[45] + a6*b[53] + a7*b[61]
+		dst[i+6] = a0*b[6] + a1*b[14] + a2*b[22] + a3*b[30] + a4*b[38] + a5*b[46] + a6*b[54] + a7*b[62]
+		dst[i+7] = a0*b[7] + a1*b[15] + a2*b[23] + a3*b[31] + a4*b[39] + a5*b[47] + a6*b[55] + a7*b[63]
+	}
+}
+
+// mulVec2 computes dst = a·v for 2×2.
+func mulVec2(dst *[2]complex128, a *[4]complex128, v *[2]complex128) {
+	v0, v1 := v[0], v[1]
+	dst[0] = a[0]*v0 + a[1]*v1
+	dst[1] = a[2]*v0 + a[3]*v1
+}
+
+// mulVec4 computes dst = a·v for 4×4.
+func mulVec4(dst *[4]complex128, a *[16]complex128, v *[4]complex128) {
+	v0, v1, v2, v3 := v[0], v[1], v[2], v[3]
+	dst[0] = a[0]*v0 + a[1]*v1 + a[2]*v2 + a[3]*v3
+	dst[1] = a[4]*v0 + a[5]*v1 + a[6]*v2 + a[7]*v3
+	dst[2] = a[8]*v0 + a[9]*v1 + a[10]*v2 + a[11]*v3
+	dst[3] = a[12]*v0 + a[13]*v1 + a[14]*v2 + a[15]*v3
+}
+
+// mulVec8 computes dst = a·v for 8×8.
+func mulVec8(dst *[8]complex128, a *[64]complex128, v *[8]complex128) {
+	v0, v1, v2, v3 := v[0], v[1], v[2], v[3]
+	v4, v5, v6, v7 := v[4], v[5], v[6], v[7]
+	for i := 0; i < 8; i++ {
+		r := i * 8
+		dst[i] = a[r]*v0 + a[r+1]*v1 + a[r+2]*v2 + a[r+3]*v3 +
+			a[r+4]*v4 + a[r+5]*v5 + a[r+6]*v6 + a[r+7]*v7
+	}
+}

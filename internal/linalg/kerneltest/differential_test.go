@@ -1,0 +1,295 @@
+package kerneltest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"epoc/internal/linalg"
+	"epoc/internal/linalg/kernel"
+)
+
+// operandClasses name every operand family the kernels must handle;
+// each generator may ignore the aspect ratio it cannot express (square
+// families use the row count).
+var operandClasses = []struct {
+	name string
+	gen  func(m, n int, rng *rand.Rand) []complex128
+}{
+	{"dense", RandomDense},
+	{"sparse10", func(m, n int, rng *rand.Rand) []complex128 { return RandomSparse(m, n, 0.1, rng) }},
+	{"unitary", func(m, n int, rng *rand.Rand) []complex128 { return RandomUnitary(m, rng) }},
+	{"hermitian", func(m, n int, rng *rand.Rand) []complex128 { return RandomHermitian(m, rng) }},
+	{"illcond", func(m, n int, rng *rand.Rand) []complex128 { return IllConditioned(m, rng) }},
+	{"denormal", Denormal},
+}
+
+// squareSizes covers every unrolled fast path (2, 4, 8), the generic
+// streaming sizes around them, and 16 as the largest size the pipeline
+// routinely exponentiates (4 qubits).
+var squareSizes = []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16}
+
+// TestKernelMatMulMatchesNaive is the core differential property: for
+// every operand class and size, every dispatch path of kernel.MatMul
+// agrees with the left-to-right triple loop within summation tolerance,
+// and a warm workspace does not change a single bit.
+func TestKernelMatMulMatchesNaive(t *testing.T) {
+	ws := kernel.NewWorkspace()
+	for _, cls := range operandClasses {
+		for _, n := range squareSizes {
+			t.Run(fmt.Sprintf("%s/%dx%d", cls.name, n, n), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(n)*1000 + 7))
+				a := cls.gen(n, n, rng)
+				b := cls.gen(n, n, rng)
+				got := make([]complex128, n*n)
+				want := make([]complex128, n*n)
+				kernel.MatMul(nil, got, a, b, n, n, n)
+				NaiveMatMul(want, a, b, n, n, n)
+				if d, tol := MaxDiff(got, want), SumTol(a, b, n); d > tol {
+					t.Fatalf("kernel vs naive: max diff %g > tol %g", d, tol)
+				}
+				wsGot := make([]complex128, n*n)
+				kernel.MatMul(ws, wsGot, a, b, n, n, n)
+				for i := range got {
+					if wsGot[i] != got[i] {
+						t.Fatalf("workspace changed the result at %d: %v vs %v", i, wsGot[i], got[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKernelMatMulRectangular covers non-square shapes, including ones
+// past the packing threshold so the cache-blocked path is differential-
+// tested too (dims ≥ 32, dense).
+func TestKernelMatMulRectangular(t *testing.T) {
+	shapes := [][3]int{{2, 5, 3}, {7, 4, 9}, {1, 16, 1}, {16, 1, 16}, {33, 40, 37}, {48, 48, 48}, {64, 33, 35}}
+	rng := rand.New(rand.NewSource(42))
+	ws := kernel.NewWorkspace()
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a := RandomDense(m, k, rng)
+			b := RandomDense(k, n, rng)
+			got := make([]complex128, m*n)
+			want := make([]complex128, m*n)
+			kernel.MatMul(ws, got, a, b, m, k, n)
+			NaiveMatMul(want, a, b, m, k, n)
+			if d, tol := MaxDiff(got, want), SumTol(a, b, k); d > tol {
+				t.Fatalf("kernel vs naive: max diff %g > tol %g", d, tol)
+			}
+		})
+	}
+}
+
+// TestKernelAdjointFusedMatchesNaive checks both adjoint-fused products
+// against their references across classes and sizes.
+func TestKernelAdjointFusedMatchesNaive(t *testing.T) {
+	for _, cls := range operandClasses {
+		for _, n := range squareSizes {
+			t.Run(fmt.Sprintf("%s/%d", cls.name, n), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(n)*77 + 3))
+				a := cls.gen(n, n, rng)
+				b := cls.gen(n, n, rng)
+				got := make([]complex128, n*n)
+				want := make([]complex128, n*n)
+				tol := SumTol(a, b, n)
+
+				kernel.AdjointMul(got, a, b, n, n, n)
+				NaiveAdjointMul(want, a, b, n, n, n)
+				if d := MaxDiff(got, want); d > tol {
+					t.Fatalf("AdjointMul vs naive: max diff %g > tol %g", d, tol)
+				}
+
+				kernel.MulAdjoint(got, a, b, n, n, n)
+				NaiveMulAdjoint(want, a, b, n, n, n)
+				if d := MaxDiff(got, want); d > tol {
+					t.Fatalf("MulAdjoint vs naive: max diff %g > tol %g", d, tol)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelMulVecMatchesNaive covers the vector product fast paths.
+func TestKernelMulVecMatchesNaive(t *testing.T) {
+	for _, cls := range operandClasses {
+		for _, n := range squareSizes {
+			rng := rand.New(rand.NewSource(int64(n)*13 + 1))
+			a := cls.gen(n, n, rng)
+			v := RandomDense(n, 1, rng)
+			got := make([]complex128, n)
+			want := make([]complex128, n)
+			kernel.MulVec(got, a, v, n, n)
+			NaiveMulVec(want, a, v, n, n)
+			if d, tol := MaxDiff(got, want), SumTol(a, v, n); d > tol {
+				t.Fatalf("%s/%d: MulVec vs naive: max diff %g > tol %g", cls.name, n, d, tol)
+			}
+		}
+	}
+}
+
+// TestKernelDeterminism re-asserts the repo-wide reproducibility
+// contract at the kernel level: the same operands produce bitwise
+// identical results on every call, with and between workspaces —
+// dispatch is a pure function of shape and values, so a Workers:1 and a
+// Workers:8 pipeline run see the very same floats.
+func TestKernelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 8, 16, 48} {
+		a := RandomDense(n, n, rng)
+		b := RandomDense(n, n, rng)
+		ref := make([]complex128, n*n)
+		kernel.MatMul(nil, ref, a, b, n, n, n)
+		for trial := 0; trial < 3; trial++ {
+			ws := kernel.NewWorkspace()
+			got := make([]complex128, n*n)
+			kernel.MatMul(ws, got, a, b, n, n, n)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("n=%d trial %d: nondeterministic at %d: %v vs %v", n, trial, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// Metamorphic identities: relations that must hold whatever the
+// summation order, checked through the public linalg API so the whole
+// dispatch stack is under test.
+
+func TestMetamorphicAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{2, 4, 8, 13, 33} {
+		a := linalg.NewMatrix(n, n)
+		b := linalg.NewMatrix(n, n)
+		c := linalg.NewMatrix(n, n)
+		copy(a.Data, RandomDense(n, n, rng))
+		copy(b.Data, RandomDense(n, n, rng))
+		copy(c.Data, RandomDense(n, n, rng))
+		left := a.Mul(b).Mul(c)
+		right := a.Mul(b.Mul(c))
+		tol := 64 * float64(n*n) * 2.220446049250313e-16 * MaxAbs(a.Data) * MaxAbs(b.Data) * MaxAbs(c.Data)
+		if d := MaxDiff(left.Data, right.Data); d > tol {
+			t.Fatalf("n=%d: (A·B)·C vs A·(B·C): max diff %g > tol %g", n, d, tol)
+		}
+	}
+}
+
+func TestMetamorphicInverseProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{2, 4, 8, 12} {
+		a := linalg.RandomUnitary(n, rng)
+		// Shift away from unitarity so the inverse is nontrivial.
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += complex(2, 0)
+		}
+		inv, err := linalg.Inverse(a)
+		if err != nil {
+			t.Fatalf("n=%d: inverse failed: %v", n, err)
+		}
+		got := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if d := got.At(i, j) - want; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+					t.Fatalf("n=%d: (A·A⁻¹)[%d][%d] = %v, want %v", n, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMetamorphicExpZeroIsIdentity(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		e := linalg.Expm(linalg.NewMatrix(n, n))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if e.At(i, j) != want {
+					t.Fatalf("n=%d: exp(0)[%d][%d] = %v, want %v", n, i, j, e.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMetamorphicExpIUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 4, 8, 16} {
+		h := linalg.RandomHermitian(n, rng)
+		u := linalg.ExpIHermitian(h, 0.37)
+		// Norm preservation: U†·U = I for any Hermitian generator.
+		prod := linalg.AdjointMul(u, u)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if d := prod.At(i, j) - want; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+					t.Fatalf("n=%d: (U†U)[%d][%d] = %v, want %v", n, i, j, prod.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMetamorphicExpmInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 4, 8} {
+		a := linalg.NewMatrix(n, n)
+		copy(a.Data, RandomDense(n, n, rng))
+		neg := a.Scale(-1)
+		prod := linalg.Expm(a).Mul(linalg.Expm(neg))
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				if d := prod.At(i, j) - want; real(d)*real(d)+imag(d)*imag(d) > 1e-16 {
+					t.Fatalf("n=%d: (e^A·e^-A)[%d][%d] = %v, want %v", n, i, j, prod.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+// TestIntoAPIsMatchAllocatingAPIs pins the workspace-threaded entry
+// points to their allocating twins bit for bit: routing a hot loop
+// through a workspace must never change numerics.
+func TestIntoAPIsMatchAllocatingAPIs(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ws := kernel.NewWorkspace()
+	for _, n := range []int{2, 4, 8, 9, 16} {
+		h := linalg.RandomHermitian(n, rng)
+
+		want := linalg.ExpIHermitian(h, -0.5)
+		got := linalg.NewMatrix(n, n)
+		linalg.ExpIHermitianInto(ws, got, h, -0.5)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("n=%d: ExpIHermitianInto differs at %d: %v vs %v", n, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		a := linalg.NewMatrix(n, n)
+		copy(a.Data, RandomDense(n, n, rng))
+		wantE := linalg.Expm(a)
+		gotE := linalg.NewMatrix(n, n)
+		linalg.ExpmInto(ws, gotE, a)
+		for i := range wantE.Data {
+			if gotE.Data[i] != wantE.Data[i] {
+				t.Fatalf("n=%d: ExpmInto differs at %d: %v vs %v", n, i, gotE.Data[i], wantE.Data[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package kerneltest
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"epoc/internal/linalg"
+	"epoc/internal/linalg/kernel"
+)
+
+// decodeOperands carves two m×k / k×n complex operands out of raw fuzz
+// bytes. Dimensions come from the first two bytes (clamped to keep the
+// product affordable), entries from consecutive float64 pairs; NaN and
+// Inf entries are kept — the kernels must not crash on them — but a
+// fuzz input that contains any makes the differential comparison
+// vacuous (NaN ≠ NaN), so those are filtered by the callers that check
+// values.
+func decodeOperands(data []byte) (a, b []complex128, m, k, n int, ok bool) {
+	if len(data) < 3 {
+		return nil, nil, 0, 0, 0, false
+	}
+	m = int(data[0])%9 + 1
+	k = int(data[1])%9 + 1
+	n = int(data[2])%9 + 1
+	data = data[3:]
+	need := (m*k + k*n) * 16
+	if len(data) < need {
+		return nil, nil, 0, 0, 0, false
+	}
+	read := func(cnt int) []complex128 {
+		out := make([]complex128, cnt)
+		for i := range out {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+			out[i] = complex(re, im)
+			data = data[16:]
+		}
+		return out
+	}
+	return read(m * k), read(k * n), m, k, n, true
+}
+
+func finite(s []complex128) bool {
+	for _, v := range s {
+		if math.IsNaN(real(v)) || math.IsNaN(imag(v)) || math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzKernelMatmul drives kernel.MatMul with arbitrary shapes and bit
+// patterns and differentially checks it against the naive triple loop.
+// Non-finite inputs only assert no-crash (comparison is vacuous).
+func FuzzKernelMatmul(f *testing.F) {
+	seed := make([]byte, 3+2*16)
+	seed[0], seed[1], seed[2] = 1, 1, 1
+	f.Add(seed)
+	big := make([]byte, 3+(8*8+8*8)*16)
+	big[0], big[1], big[2] = 7, 7, 7
+	for i := 3; i < len(big); i++ {
+		big[i] = byte(i * 37)
+	}
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, m, k, n, ok := decodeOperands(data)
+		if !ok {
+			return
+		}
+		got := make([]complex128, m*n)
+		kernel.MatMul(nil, got, a, b, m, k, n)
+		if !finite(a) || !finite(b) {
+			return
+		}
+		want := make([]complex128, m*n)
+		NaiveMatMul(want, a, b, m, k, n)
+		if d, tol := MaxDiff(got, want), SumTol(a, b, k); d > tol && !math.IsInf(MaxAbs(want), 0) {
+			t.Fatalf("m=%d k=%d n=%d: kernel vs naive max diff %g > tol %g", m, k, n, d, tol)
+		}
+	})
+}
+
+// FuzzKernelExpm checks the scaling-and-squaring exponential on
+// arbitrary square inputs against the two identities that survive any
+// rounding: exp never panics on finite input, and exp(A)·exp(-A) ≈ I
+// for inputs of modest norm.
+func FuzzKernelExpm(f *testing.F) {
+	seed := make([]byte, 3+2*16)
+	seed[0], seed[1], seed[2] = 1, 1, 1
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, _, m, k, _, ok := decodeOperands(data)
+		if !ok || m != k || !finite(a) {
+			return
+		}
+		n := m
+		mat := linalg.NewMatrix(n, n)
+		copy(mat.Data, a[:n*n])
+		// Clamp the norm so exp(A)·exp(-A) stays testable: scaling keeps
+		// the identity check meaningful without restricting bit patterns.
+		if nrm := mat.FrobeniusNorm(); nrm > 4 {
+			mat = mat.Scale(complex(4/nrm, 0))
+		}
+		e := linalg.Expm(mat)
+		eneg := linalg.Expm(mat.Scale(-1))
+		prod := e.Mul(eneg)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := complex128(0)
+				if i == j {
+					want = 1
+				}
+				d := prod.At(i, j) - want
+				if real(d)*real(d)+imag(d)*imag(d) > 1e-12 {
+					t.Fatalf("n=%d: (e^A·e^-A)[%d][%d] = %v, want %v", n, i, j, prod.At(i, j), want)
+				}
+			}
+		}
+	})
+}

@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/cmplx"
 	"strings"
+
+	"epoc/internal/linalg/kernel"
 )
 
 // Matrix is a dense, row-major complex matrix.
@@ -124,6 +126,23 @@ func (m *Matrix) AddInPlace(n *Matrix) *Matrix {
 	return m
 }
 
+// AddScaledInPlace sets m = m + s·n and returns m, without the
+// temporary that Add(n.Scale(s)) would build — the axpy primitive of
+// the Hamiltonian assembly inside GRAPE's hot loop.
+func (m *Matrix) AddScaledInPlace(n *Matrix, s complex128) *Matrix {
+	checkSameShape(m, n)
+	kernel.Axpy(m.Data, n.Data, s)
+	return m
+}
+
+// CopyFrom copies n's elements into m (shapes must match) and returns
+// m, reusing m's storage.
+func (m *Matrix) CopyFrom(n *Matrix) *Matrix {
+	checkSameShape(m, n)
+	copy(m.Data, n.Data)
+	return m
+}
+
 // ScaleInPlace sets m = s·m and returns m.
 func (m *Matrix) ScaleInPlace(s complex128) *Matrix {
 	for i := range m.Data {
@@ -132,47 +151,27 @@ func (m *Matrix) ScaleInPlace(s complex128) *Matrix {
 	return m
 }
 
-// Mul returns the matrix product m·n.
-//
-//epoc:hot
+// Mul returns the matrix product m·n. It routes through the kernel
+// layer (internal/linalg/kernel): unrolled fast paths for 2×2/4×4/8×8,
+// a cache-blocked transpose-packed path for large dense products, and
+// a zero-skipping streaming loop otherwise. Hot loops that must not
+// allocate use MulInto with a kernel.Workspace instead.
 func (m *Matrix) Mul(n *Matrix) *Matrix {
 	if m.Cols != n.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
 	}
 	out := NewMatrix(m.Rows, n.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*n.Cols : (i+1)*n.Cols]
-		for k, a := range mrow {
-			//epoc:lint-ignore floatcmp exact-zero sparsity fast path in the mul kernel
-			if a == 0 {
-				continue
-			}
-			nrow := n.Data[k*n.Cols : (k+1)*n.Cols]
-			for j, b := range nrow {
-				orow[j] += a * b
-			}
-		}
-	}
+	kernel.MatMul(nil, out.Data, m.Data, n.Data, m.Rows, m.Cols, n.Cols)
 	return out
 }
 
 // MulVec returns the matrix-vector product m·v.
-//
-//epoc:hot
 func (m *Matrix) MulVec(v []complex128) []complex128 {
 	if m.Cols != len(v) {
 		panic("linalg: MulVec dimension mismatch")
 	}
 	out := make([]complex128, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s complex128
-		for j, a := range row {
-			s += a * v[j]
-		}
-		out[i] = s
-	}
+	kernel.MulVec(out, m.Data, v, m.Rows, m.Cols)
 	return out
 }
 

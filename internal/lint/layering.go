@@ -40,16 +40,24 @@ var layeringDAG = map[string][]string{
 	// fake), so every layer can carry spans without new edges.
 	"internal/faultclock": {},
 	"internal/gate":       {"internal/linalg"},
-	"internal/linalg":     {},
 	"internal/lint":       {},
 	"internal/obs":        {},
 	"internal/opt":        {},
 	"internal/trace":      {},
 
+	// The profiled kernel layer sits beneath linalg: raw []complex128
+	// kernels and the workspace arena, no in-module deps. linalg routes
+	// every product through it; hot loops elsewhere (qoc, densesim)
+	// import it directly for workspace plumbing. kerneltest is the
+	// differential harness proving kernel ≡ naive reference.
+	"internal/linalg":            {"internal/linalg/kernel"},
+	"internal/linalg/kernel":     {},
+	"internal/linalg/kerneltest": {"internal/linalg", "internal/linalg/kernel"},
+
 	// Circuit IR and its direct consumers.
 	"internal/benchcirc": {"internal/circuit", "internal/gate"},
 	"internal/circuit":   {"internal/gate", "internal/linalg"},
-	"internal/densesim":  {"internal/circuit", "internal/gate", "internal/linalg"},
+	"internal/densesim":  {"internal/circuit", "internal/gate", "internal/linalg", "internal/linalg/kernel"},
 	"internal/optimize":  {"internal/circuit", "internal/gate", "internal/linalg"},
 	"internal/partition": {"internal/circuit", "internal/gate", "internal/linalg"},
 	"internal/qasm":      {"internal/circuit", "internal/gate"},
@@ -61,7 +69,7 @@ var layeringDAG = map[string][]string{
 	"internal/debugsrv": {"internal/obs"},
 	"internal/hardware": {"internal/gate", "internal/qoc"},
 	"internal/pulse":    {"internal/linalg"},
-	"internal/qoc":      {"internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/trace"},
+	"internal/qoc":      {"internal/faultclock", "internal/gate", "internal/linalg", "internal/linalg/kernel", "internal/obs", "internal/opt", "internal/trace"},
 	"internal/report":   {"internal/obs", "internal/trace"},
 	"internal/synth":    {"internal/circuit", "internal/faultclock", "internal/gate", "internal/linalg", "internal/obs", "internal/opt", "internal/optimize", "internal/trace"},
 

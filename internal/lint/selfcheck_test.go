@@ -80,8 +80,10 @@ func TestHotAnnotationsPresent(t *testing.T) {
 		t.Fatalf("load module: %v", err)
 	}
 	want := map[string][]string{
-		"internal/qoc":    {"grapeFrom", "traceProduct"},
-		"internal/linalg": {"Mul", "MulVec", "Transpose", "Adjoint", "Kron", "expIFromEig"},
+		"internal/qoc":      {"grapeFrom", "traceProduct", "update", "slotHamiltonianInto"},
+		"internal/linalg":   {"Transpose", "Adjoint", "Kron", "EigHermitianInto", "ExpIHermitianInto", "ExpIFromEigInto"},
+		"internal/opt":      {"LBFGS"},
+		"internal/densesim": {"ApplyUnitary"},
 	}
 	for rel, fns := range want {
 		pkg := mod.Packages[modPath+"/"+rel]

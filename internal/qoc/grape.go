@@ -7,6 +7,7 @@ import (
 
 	"epoc/internal/faultclock"
 	"epoc/internal/linalg"
+	"epoc/internal/linalg/kernel"
 	"epoc/internal/obs"
 	"epoc/internal/trace"
 )
@@ -102,9 +103,11 @@ func GRAPE(m *Model, target *linalg.Matrix, slots int, cfg GRAPEConfig) Result {
 
 // grapeFrom runs the GRAPE ascent from an explicit initial amplitude
 // schedule (mutated in place as the working buffer). The ascent loop
-// is the pipeline's hottest path: per-iteration memory comes from the
-// workspaces allocated up front or from the linalg kernels' own
-// (annotated) allocations, never from this loop body.
+// is the pipeline's hottest path: all per-iteration memory comes from
+// the propagator cache and the per-run kernel workspace allocated up
+// front, never from this loop body, and the propagator cache recomputes
+// only the slices whose controls actually changed since the previous
+// iteration (saturated or warm-started slices are reused).
 //
 //epoc:hot
 func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfig) Result {
@@ -125,36 +128,29 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 	vAdam := makeGrid(slots, nc)
 	const beta1, beta2, eps = 0.9, 0.999, 1e-8
 
-	steps := make([]*linalg.Matrix, slots)
-	prefix := make([]*linalg.Matrix, slots+1)
-	suffix := make([]*linalg.Matrix, slots+1)
-	hams := make([]*linalg.Matrix, slots)
+	ws := kernel.NewWorkspace()
+	props := newPropCache(m, slots, ws)
+	left := linalg.NewMatrix(dim, dim)
+	rl := linalg.NewMatrix(dim, dim)
+	bestAmps := makeGrid(slots, nc)
+	haveBest := false
 
 	best := Result{Fidelity: -1}
 	fid := 0.0
 	iter := 0
 	var stop error
 	for ; iter < cfg.MaxIter; iter++ {
-		// Forward propagation.
-		for k := 0; k < slots; k++ {
-			hams[k] = m.slotHamiltonian(amps[k])
-			steps[k] = linalg.ExpIHermitian(hams[k], -m.Dt)
-		}
-		prefix[0] = linalg.Identity(dim)
-		for k := 0; k < slots; k++ {
-			prefix[k+1] = steps[k].Mul(prefix[k])
-		}
-		suffix[slots] = linalg.Identity(dim)
-		for k := slots - 1; k >= 0; k-- {
-			suffix[k] = suffix[k+1].Mul(steps[k])
-		}
-		u := prefix[slots]
+		// Forward propagation through the cache: unchanged slices keep
+		// their step unitaries, prefix/suffix products rebuild only
+		// from the first/last changed slice inward.
+		u := props.update(amps)
 		z := linalg.HSInner(target, u) // tr(target†·U)
 		fid = cmplx.Abs(z) / float64(dim)
 		cfg.Obs.Sample("qoc/grape/fidelity", fid)
 		if fid > best.Fidelity {
 			best.Fidelity = fid
-			best.Amps = cloneAmps(amps)
+			copyAmps(bestAmps, amps)
+			haveBest = true
 			best.Iterations = iter
 		}
 		if fid >= cfg.Target {
@@ -181,11 +177,12 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 			zAbs = 1e-14
 		}
 		for k := 0; k < slots; k++ {
-			// left = target†·suffix_{k+1}; right = step_k·prefix_k = prefix_{k+1}.
-			left := target.Adjoint().Mul(suffix[k+1])
-			right := prefix[k+1]
+			// left = target†·suffix_{k+1} (adjoint fused, never
+			// materialized); right = step_k·prefix_k = prefix_{k+1}.
+			linalg.AdjointMulInto(left, target, props.suffix[k+1])
+			right := props.prefix[k+1]
 			// tr(left·H_j·right) = tr((right·left)·H_j)
-			rl := right.Mul(left)
+			linalg.MulInto(ws, rl, right, left)
 			for j := 0; j < nc; j++ {
 				tr := traceProduct(rl, m.Controls[j])
 				dz := complex(0, -m.Dt) * tr
@@ -207,7 +204,9 @@ func grapeFrom(m *Model, target *linalg.Matrix, amps [][]float64, cfg GRAPEConfi
 	}
 	best.Slots = slots
 	best.Duration = float64(slots) * m.Dt
-	if best.Amps == nil {
+	if haveBest {
+		best.Amps = bestAmps
+	} else {
 		best.Amps = cloneAmps(amps)
 	}
 	best.Iterations = iter
@@ -266,6 +265,13 @@ func cloneAmps(a [][]float64) [][]float64 {
 		out[i] = append([]float64(nil), a[i]...)
 	}
 	return out
+}
+
+// copyAmps copies src into the preallocated dst grid of the same shape.
+func copyAmps(dst, src [][]float64) {
+	for i := range src {
+		copy(dst[i], src[i])
+	}
 }
 
 // Runner produces an optimized pulse for a given slot count; used by
