@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test race test-leak bench bench-kernels bench-json bench-gate store-warm-gate fuzz serve smoke-serve ci
+.PHONY: all build vet lint lint-fixtures test race test-leak bench bench-kernels bench-json bench-gate store-warm-gate fuzz serve smoke-serve metrics-smoke ci
 
 all: build vet lint test
 
@@ -11,11 +11,12 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (cmd/epoc-lint): the full
-# 11-analyzer suite — float equality, global rand, import DAG,
+# 12-analyzer suite — float equality, global rand, import DAG,
 # unchecked in-module errors, copied locks, discarded contexts,
-# unended spans, plus the dataflow analyzers (map-order determinism,
-# lock-guarded fields, goroutine joins, hot-loop allocations). Exit
-# codes: 0 clean, 1 findings, 2 load error. See DESIGN.md §8 and §13.
+# unended spans, Prometheus metric naming, plus the dataflow
+# analyzers (map-order determinism, lock-guarded fields, goroutine
+# joins, hot-loop allocations). Exit codes: 0 clean, 1 findings,
+# 2 load error. See DESIGN.md §8 and §13.
 lint:
 	$(GO) run ./cmd/epoc-lint ./...
 
@@ -62,10 +63,19 @@ bench-json:
 
 # Perf regression gate: re-run the small suite and compare against the
 # committed seed baseline. Non-zero exit on any gated-metric
-# regression. Refresh the baseline with:
+# regression. epoc-bench is the authoritative gate; epoc-stats then
+# renders the full baseline diff into the job log (and double-gates on
+# the headline metrics), so a failing run shows *what* moved, not just
+# that something did. Refresh the baseline with:
 #   go run ./cmd/epoc-bench -suite small -json bench/baseline
 bench-gate:
-	$(GO) run ./cmd/epoc-bench -suite small -baseline bench/baseline/BENCH_small.json
+	rm -rf $(CURDIR)/.bench-gate
+	gate=0; \
+	$(GO) run ./cmd/epoc-bench -suite small -json $(CURDIR)/.bench-gate \
+		-baseline bench/baseline/BENCH_small.json || gate=$$?; \
+	$(GO) run ./cmd/epoc-stats -fail-on 'latency_ns=0.01%,fidelity=0.0001,qoc_runs=0' \
+		bench/baseline/BENCH_small.json $(CURDIR)/.bench-gate/BENCH_small.json || gate=$$?; \
+	exit $$gate
 
 # Store-warm gate: run the small suite in full-GRAPE mode twice over
 # one persistent store. Run 1 pays for GRAPE and populates the store;
@@ -97,4 +107,12 @@ serve:
 smoke-serve:
 	sh scripts/smoke_serve.sh
 
-ci: build vet lint lint-fixtures race test-leak smoke-serve
+# Telemetry smoke test (DESIGN.md §15): full-mode compile against a
+# live daemon, strict-parse the /metrics scrape (epoc-stats
+# -promcheck) including stage histograms and store counters, check
+# access-log ↔ trace-header correlation, and run the epoc-stats
+# snapshot diff gate.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
+
+ci: build vet lint lint-fixtures race test-leak smoke-serve metrics-smoke

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"epoc/internal/logx"
 	"epoc/internal/serve"
 )
 
@@ -43,8 +44,18 @@ func main() {
 		maxBody         = flag.Int64("max-body-bytes", 1<<20, "request body size cap")
 		noDebug         = flag.Bool("no-debug", false, "do not mount /debug/pprof and /debug/vars on the service mux")
 		storePath       = flag.String("store", "", "persistent pulse/synth store root: warm the caches from it at startup, flush new entries after every compile")
+		logLevel        = flag.String("log-level", "info", "structured JSON log level on stderr: debug | info | warn | error | off (SERVING.md \"Logging\")")
 	)
 	flag.Parse()
+
+	var logger *logx.Logger
+	if *logLevel != "off" {
+		level, err := logx.ParseLevel(*logLevel)
+		if err != nil {
+			fatal(err)
+		}
+		logger = logx.New(os.Stderr, level)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
@@ -57,6 +68,7 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		Debug:           !*noDebug,
 		StorePath:       *storePath,
+		Log:             logger,
 	})
 	if err != nil {
 		fatal(err)

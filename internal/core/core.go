@@ -24,6 +24,7 @@ import (
 	"epoc/internal/faultclock"
 	"epoc/internal/hardware"
 	"epoc/internal/linalg"
+	"epoc/internal/logx"
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/store"
@@ -178,6 +179,14 @@ type Options struct {
 	// instrumented paths cost a single nil check and zero allocations.
 	Obs *obs.Recorder
 
+	// Log, when non-nil, emits structured JSON records at the pipeline's
+	// stage boundaries and at compile completion (stage name, span ID
+	// from Trace, elapsed time, degrade reasons). The serve layer passes
+	// a request-scoped logger already carrying the trace_id, so a log
+	// line, a /metrics scrape and a Chrome trace join on one ID
+	// (DESIGN.md §15). Nil (the default) costs one nil check.
+	Log *logx.Logger
+
 	// Trace, when non-nil, records a hierarchical span trace of this
 	// compile: a "compile" root span, one child per pipeline stage, one
 	// span per synthesized block class (with cache status, QSearch
@@ -227,22 +236,40 @@ type Options struct {
 	warmUs    []*linalg.Matrix
 }
 
-// stageSpan pairs a stage's aggregate obs timer with its trace span so
-// the pipeline opens and closes both with one call.
+// stageSpan pairs a stage's aggregate obs timer with its trace span
+// (and, when logging is on, a stage-boundary log record) so the
+// pipeline opens and closes all three with one call.
 type stageSpan struct {
-	obs obs.Span
-	tr  *trace.Span
+	obs   obs.Span
+	tr    *trace.Span
+	log   *logx.Logger
+	name  string
+	start time.Time
 }
 
 func (s stageSpan) End() {
 	s.obs.End()
 	s.tr.End()
+	if s.log.Enabled() {
+		s.log.Info("stage done",
+			"stage", s.name,
+			"span", s.tr.ID(),
+			"elapsed_ms", float64(time.Since(s.start).Nanoseconds())/1e6)
+	}
 }
 
 // beginStage opens the paired obs timer and trace span for one
-// pipeline stage, the trace span a child of the compile root.
+// pipeline stage, the trace span a child of the compile root. The
+// wall-clock read for the log record happens only when a logger is
+// attached, keeping the disabled path identical to the pre-logging
+// pipeline.
 func (o *Options) beginStage(name string) stageSpan {
-	return stageSpan{obs: o.Obs.Span(name), tr: o.compileSpan.Child(name)}
+	ss := stageSpan{obs: o.Obs.Span(name), tr: o.compileSpan.Child(name), log: o.Log, name: name}
+	if o.Log.Enabled() {
+		ss.start = time.Now()
+		o.Log.Info("stage start", "stage", name, "span", ss.tr.ID())
+	}
+	return ss
 }
 
 // stageGate builds the cancellation/budget gate for one stage: the
@@ -479,6 +506,13 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 	if err != nil {
 		o.Obs.Add("compile/canceled", 1)
 		tsp.SetStr("stop", "canceled")
+		if o.Log.Enabled() {
+			o.Log.Warn("compile aborted",
+				"strategy", string(o.Strategy),
+				"span", tsp.ID(),
+				"err", err.Error(),
+				"elapsed_ms", float64(time.Since(start).Nanoseconds())/1e6)
+		}
 		return nil, err
 	}
 	if res.Stats.SynthDegraded > 0 {
@@ -520,5 +554,18 @@ func CompileContext(ctx context.Context, c *circuit.Circuit, opts Options) (*Res
 	}
 	res.Stats.LibraryHits = hits1
 	res.Stats.LibraryMisses = misses1
+	if o.Log.Enabled() {
+		o.Log.Info("compile done",
+			"strategy", string(o.Strategy),
+			"span", tsp.ID(),
+			"qubits", c.NumQubits,
+			"gates", c.Len(),
+			"latency_ns", res.Latency,
+			"fidelity", res.Fidelity,
+			"qoc_runs", res.Stats.QOCRuns,
+			"degraded", res.Degraded,
+			"degrade_reasons", strings.Join(res.DegradeReasons, ","),
+			"elapsed_ms", float64(res.CompileTime.Nanoseconds())/1e6)
+	}
 	return res, nil
 }

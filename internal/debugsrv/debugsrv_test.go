@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"testing"
 
+	"epoc/internal/metrics"
 	"epoc/internal/obs"
 )
 
@@ -62,5 +63,80 @@ func TestServe(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.256.256.256:0", nil); err == nil {
 		t.Fatal("no error for an unbindable address")
+	}
+}
+
+// TestTwoServersOwnRecorders pins the per-mux recorder binding: two
+// debug servers in one process (the two-servers-one-store shape from
+// internal/serve) must each export their own recorder rather than the
+// last registration winning the process-global expvar key.
+func TestTwoServersOwnRecorders(t *testing.T) {
+	ra, rb := obs.New(), obs.New()
+	ra.Add("compiles", 1)
+	rb.Add("compiles", 100)
+
+	addrA, err := Serve("127.0.0.1:0", ra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := Serve("127.0.0.1:0", rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		addr string
+		want int64
+	}{{addrA, 1}, {addrB, 100}} {
+		var vars struct {
+			Epoc map[string]int64 `json:"epoc"`
+		}
+		if err := json.Unmarshal(get(t, fmt.Sprintf("http://%s/debug/vars", tc.addr)), &vars); err != nil {
+			t.Fatal(err)
+		}
+		if vars.Epoc["compiles"] != tc.want {
+			t.Fatalf("server %s exported compiles=%d, want %d", tc.addr, vars.Epoc["compiles"], tc.want)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := obs.New()
+	r.Add("synthcache/hit", 4)
+	r.Span("stage/zx").End()
+	addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(get(t, fmt.Sprintf("http://%s/metrics", addr)))
+	fams, err := metrics.Parse(body)
+	if err != nil {
+		t.Fatalf("strict parser rejected /metrics: %v\n%s", err, body)
+	}
+	found := map[string]bool{}
+	for _, f := range fams {
+		found[f.Name] = true
+	}
+	if !found["epoc_synthcache_hits_total"] || !found["epoc_stage_seconds"] {
+		t.Fatalf("missing expected families in %v", found)
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		Epoc map[string]int64 `json:"epoc"`
+	}
+	if err := json.Unmarshal(get(t, fmt.Sprintf("http://%s/debug/vars", addr)), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if len(vars.Epoc) != 0 {
+		t.Fatalf("nil recorder exported %v", vars.Epoc)
+	}
+	if body := get(t, fmt.Sprintf("http://%s/metrics", addr)); len(body) != 0 {
+		t.Fatalf("nil recorder /metrics = %q, want empty", body)
 	}
 }

@@ -38,9 +38,13 @@ var layeringDAG = map[string][]string{
 	// trace is a leaf by the same argument as faultclock: it declares
 	// its own Clock interface (satisfied structurally by faultclock's
 	// fake), so every layer can carry spans without new edges.
+	// logx is a leaf too: it takes trace/span IDs as plain strings
+	// instead of importing internal/trace, so any layer can carry a
+	// logger without new edges.
 	"internal/faultclock": {},
 	"internal/gate":       {"internal/linalg"},
 	"internal/lint":       {},
+	"internal/logx":       {},
 	"internal/obs":        {},
 	"internal/opt":        {},
 	"internal/trace":      {},
@@ -65,8 +69,12 @@ var layeringDAG = map[string][]string{
 	"internal/sim":       {"internal/circuit", "internal/linalg"},
 	"internal/zx":        {"internal/circuit", "internal/gate", "internal/optimize"},
 
+	// The telemetry exposition sits directly on obs: it renders
+	// snapshots, never records.
+	"internal/metrics": {"internal/obs"},
+
 	// Pulse/QOC layer.
-	"internal/debugsrv": {"internal/obs"},
+	"internal/debugsrv": {"internal/metrics", "internal/obs"},
 	"internal/hardware": {"internal/gate", "internal/qoc"},
 	"internal/pulse":    {"internal/linalg"},
 	"internal/qoc":      {"internal/faultclock", "internal/gate", "internal/linalg", "internal/linalg/kernel", "internal/obs", "internal/opt", "internal/trace"},
@@ -84,11 +92,11 @@ var layeringDAG = map[string][]string{
 	// The pipeline orchestrator sits on top of everything.
 	"internal/core": {
 		"internal/circuit", "internal/faultclock", "internal/gate",
-		"internal/hardware", "internal/linalg", "internal/obs",
-		"internal/optimize", "internal/partition", "internal/pulse",
-		"internal/qoc", "internal/route", "internal/sim",
-		"internal/store", "internal/synth", "internal/trace",
-		"internal/zx",
+		"internal/hardware", "internal/linalg", "internal/logx",
+		"internal/obs", "internal/optimize", "internal/partition",
+		"internal/pulse", "internal/qoc", "internal/route",
+		"internal/sim", "internal/store", "internal/synth",
+		"internal/trace", "internal/zx",
 	},
 
 	// The HTTP compile service sits above core: it is the in-process
@@ -98,9 +106,9 @@ var layeringDAG = map[string][]string{
 	"internal/serve": {
 		"internal/benchcirc", "internal/circuit", "internal/core",
 		"internal/debugsrv", "internal/faultclock", "internal/hardware",
-		"internal/obs", "internal/pulse", "internal/qasm",
-		"internal/report", "internal/store", "internal/synth",
-		"internal/trace",
+		"internal/logx", "internal/metrics", "internal/obs",
+		"internal/pulse", "internal/qasm", "internal/report",
+		"internal/store", "internal/synth", "internal/trace",
 	},
 }
 

@@ -107,7 +107,7 @@ func (f Finding) String() string {
 
 // All returns the full epoc-lint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow, Spanend, Maporder, Lockguard, Goleak, Allochot}
+	return []*Analyzer{Floatcmp, Globalrand, Layering, Errcheck, Copylockplus, Ctxflow, Spanend, Maporder, Lockguard, Goleak, Allochot, Metricname}
 }
 
 // ByName resolves a comma-separated analyzer list ("floatcmp,layering")

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metricname keeps the Prometheus exposition surface stable: every
+// metric name a package exports — the Name of a metrics.Gauge
+// composite literal anywhere in the module, and the rename table
+// inside internal/metrics itself — must be epoc_-prefixed snake_case
+// (DESIGN.md §15). Scrape configs, dashboards and alert rules key on
+// these strings, so a stray capital or a double underscore is an
+// operational break, not a style nit. Counter names in the rename
+// table must additionally end in _total (the text-format convention
+// the strict parser enforces); gauge names must not.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "exported Prometheus metric names must be epoc_-prefixed snake_case (counters end _total, gauges do not)",
+	Run:  runMetricname,
+}
+
+var metricNameRE = regexp.MustCompile(`^epoc_[a-z][a-z0-9_]*$`)
+
+// metricNameProblem returns "" for a well-formed name, else a short
+// description of what is wrong with it.
+func metricNameProblem(name string) string {
+	switch {
+	case !metricNameRE.MatchString(name):
+		return "must be epoc_-prefixed lowercase snake_case ([a-z0-9_], epoc_ first)"
+	case strings.Contains(name, "__"):
+		return "contains consecutive underscores"
+	case strings.HasSuffix(name, "_"):
+		return "ends with an underscore"
+	default:
+		return ""
+	}
+}
+
+func runMetricname(p *Pass) {
+	inMetrics := p.Module.relPath(p.Pkg.Path) == "internal/metrics"
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if tv, ok := p.Info.Types[n]; ok && isMetricsGauge(tv.Type) {
+					checkGaugeLit(p, n)
+				}
+			case *ast.ValueSpec:
+				// The rename table is the other half of the exposition
+				// surface; it lives only in internal/metrics.
+				if inMetrics {
+					checkRenameTable(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkGaugeLit validates the Name field of one metrics.Gauge literal,
+// keyed or positional (Name is field 0).
+func checkGaugeLit(p *Pass, lit *ast.CompositeLit) {
+	var nameExpr ast.Expr
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Name" {
+				nameExpr = kv.Value
+			}
+			continue
+		}
+		if i == 0 {
+			nameExpr = elt
+		}
+	}
+	name, ok := stringLit(nameExpr)
+	if !ok {
+		return // computed names are the renderer's sanitize problem
+	}
+	if problem := metricNameProblem(name); problem != "" {
+		p.Reportf(nameExpr.Pos(), "gauge name %q %s", name, problem)
+		return
+	}
+	if strings.HasSuffix(name, "_total") {
+		p.Reportf(nameExpr.Pos(), "gauge name %q ends in _total, the counter suffix; scrapers will misread its semantics", name)
+	}
+}
+
+// checkRenameTable validates the values of the promRenames map: each
+// is an exported counter name and must carry the _total suffix.
+func checkRenameTable(p *Pass, spec *ast.ValueSpec) {
+	for i, nameID := range spec.Names {
+		if nameID.Name != "promRenames" || i >= len(spec.Values) {
+			continue
+		}
+		lit, ok := spec.Values[i].(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			name, ok := stringLit(kv.Value)
+			if !ok {
+				continue
+			}
+			if problem := metricNameProblem(name); problem != "" {
+				p.Reportf(kv.Value.Pos(), "renamed counter %q %s", name, problem)
+				continue
+			}
+			if !strings.HasSuffix(name, "_total") {
+				p.Reportf(kv.Value.Pos(), "renamed counter %q must end in _total", name)
+			}
+		}
+	}
+}
+
+// stringLit unquotes e when it is a string basic literal.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// isMetricsGauge reports whether t is (a pointer to) the Gauge type of
+// this module's internal/metrics package.
+func isMetricsGauge(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Gauge" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+}

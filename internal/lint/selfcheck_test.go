@@ -54,6 +54,7 @@ func TestSuiteRoster(t *testing.T) {
 	want := []string{
 		"floatcmp", "globalrand", "layering", "errcheck", "copylockplus",
 		"ctxflow", "spanend", "maporder", "lockguard", "goleak", "allochot",
+		"metricname",
 	}
 	got := Names()
 	if len(got) != len(want) {

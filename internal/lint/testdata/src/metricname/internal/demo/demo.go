@@ -1,0 +1,25 @@
+// Package demo exercises the metricname analyzer on Gauge literals:
+// names flow into the Prometheus exposition verbatim, so every
+// literal Name is checked, keyed or positional.
+package demo
+
+import "epoc/internal/metrics"
+
+// Gauges returns the demo server's gauge set.
+func Gauges(depth int) []metrics.Gauge {
+	return []metrics.Gauge{
+		{Name: "epoc_serve_queue_depth", Help: "ok", Value: float64(depth)},
+		{Name: "epoc_Serve_inflight", Help: "capital letter", Value: 0},       // want "gauge name .* snake_case"
+		{Name: "queue_depth", Help: "missing prefix", Value: 0},               // want "gauge name .* snake_case"
+		{Name: "epoc_serve_requests_total", Help: "counter suffix", Value: 0}, // want "ends in _total"
+		{Name: "epoc_serve_depth_", Help: "trailing underscore", Value: 0},    // want "underscore"
+		{"epoc_bad-name", "positional", 1},                                    // want "gauge name .* snake_case"
+	}
+}
+
+// Dynamic names are out of scope: the renderer sanitizes them.
+func dynamic(name string) metrics.Gauge {
+	return metrics.Gauge{Name: "epoc_" + name, Help: "computed"}
+}
+
+var _ = dynamic

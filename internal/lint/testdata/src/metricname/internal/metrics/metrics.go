@@ -1,0 +1,25 @@
+// Package metrics is a fixture stub of the real internal/metrics:
+// the Gauge type demo packages construct, and a rename table with
+// deliberately broken entries for the metricname analyzer.
+package metrics
+
+// Gauge mirrors the real exposition Gauge.
+type Gauge struct {
+	Name  string
+	Help  string
+	Value float64
+}
+
+// promRenames maps obs counter names to their exported Prometheus
+// names; every value is part of the scrape surface.
+var promRenames = map[string]string{
+	"synthcache/hit": "epoc_synthcache_hits_total",
+	"library/hits":   "epoc_Library_hits_total",   // want "renamed counter .* snake_case"
+	"store/flushed":  "epoc_store_flushed",        // want "must end in _total"
+	"store/corrupt":  "epoc_store__corrupt_total", // want "consecutive underscores"
+}
+
+// use keeps the table referenced so the fixture type-checks cleanly.
+func use() int { return len(promRenames) }
+
+var _ = use

@@ -51,6 +51,69 @@ const (
 	DefaultMaxSeries = 2048
 )
 
+// NumBuckets is the number of finite histogram bucket bounds every
+// timer and distribution carries; one overflow (+Inf) bucket follows.
+// The bounds are log-spaced by a factor of 4 starting at 1e-6 — in
+// seconds for timers (1 µs up to ~275 ks) — so one fixed layout covers
+// microsecond kernel spans, multi-second GRAPE stages, and unitless
+// distribution values (iteration counts, milliseconds) alike. A fixed
+// shared layout is what lets internal/metrics render every histogram
+// with identical `le` labels and lets Merge fold recorders together
+// bucket by bucket.
+const NumBuckets = 20
+
+// bucketBounds holds the finite upper bounds. Multiplying by 4 only
+// shifts the exponent, so the bounds are exact and identical on every
+// platform.
+var bucketBounds = func() [NumBuckets]float64 {
+	var b [NumBuckets]float64
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 4
+	}
+	return b
+}()
+
+// BucketBounds returns a copy of the finite histogram bucket upper
+// bounds (the +Inf overflow bucket is implied as the final count).
+func BucketBounds() []float64 {
+	out := make([]float64, NumBuckets)
+	copy(out, bucketBounds[:])
+	return out
+}
+
+// Hist is a fixed-bucket histogram: Hist[i] counts observations with
+// value ≤ BucketBounds()[i] (and above the previous bound); the final
+// element counts the overflow (+Inf bucket). It is a value type — a
+// fixed-size array — so snapshot copies are deep and recording into an
+// existing entry allocates nothing. Counts are per-bucket, not
+// cumulative; renderers that need Prometheus-style cumulative buckets
+// sum as they emit.
+type Hist [NumBuckets + 1]int64
+
+// observe adds one observation. NaN (no bound compares true) lands in
+// the overflow bucket rather than being dropped, so Count and the
+// bucket sum always agree.
+func (h *Hist) observe(v float64) {
+	for i := 0; i < NumBuckets; i++ {
+		if v <= bucketBounds[i] {
+			h[i]++
+			return
+		}
+	}
+	h[NumBuckets]++
+}
+
+// Total returns the sum of all bucket counts.
+func (h *Hist) Total() int64 {
+	var n int64
+	for _, c := range h {
+		n += c
+	}
+	return n
+}
+
 // Recorder accumulates counters, timer aggregates, value
 // distributions, bounded series and bounded events. All methods are
 // goroutine-safe and no-ops on a nil receiver.
@@ -122,6 +185,7 @@ func (r *Recorder) Observe(name string, v float64) {
 	if v > d.Max {
 		d.Max = v
 	}
+	d.Buckets.observe(v)
 	r.mu.Unlock()
 }
 
@@ -182,6 +246,7 @@ func (r *Recorder) recordDuration(name string, d time.Duration) {
 	if d > t.Max {
 		t.Max = d
 	}
+	t.Buckets.observe(d.Seconds())
 	r.mu.Unlock()
 }
 
@@ -238,12 +303,15 @@ type Event struct {
 	Msg   string    `json:"msg"`
 }
 
-// TimerStats aggregates the spans recorded under one name.
+// TimerStats aggregates the spans recorded under one name. Buckets
+// holds the fixed-layout histogram over elapsed seconds (bounds from
+// BucketBounds, final element is the +Inf overflow).
 type TimerStats struct {
-	Count int64         `json:"count"`
-	Total time.Duration `json:"total_ns"`
-	Min   time.Duration `json:"min_ns"`
-	Max   time.Duration `json:"max_ns"`
+	Count   int64         `json:"count"`
+	Total   time.Duration `json:"total_ns"`
+	Min     time.Duration `json:"min_ns"`
+	Max     time.Duration `json:"max_ns"`
+	Buckets Hist          `json:"buckets"`
 }
 
 // Mean returns the average span duration (0 when empty).
@@ -254,12 +322,15 @@ func (t TimerStats) Mean() time.Duration {
 	return t.Total / time.Duration(t.Count)
 }
 
-// DistStats aggregates the values observed under one name.
+// DistStats aggregates the values observed under one name. Buckets
+// holds the fixed-layout histogram over the raw observed values
+// (bounds from BucketBounds, final element is the +Inf overflow).
 type DistStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
+	Count   int64   `json:"count"`
+	Sum     float64 `json:"sum"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Buckets Hist    `json:"buckets"`
 }
 
 // Mean returns the average observed value (0 when empty).
@@ -312,6 +383,70 @@ func (r *Recorder) Snapshot() *Snapshot {
 		s.Series[k] = append([]float64(nil), v...)
 	}
 	return s
+}
+
+// Merge folds a snapshot from another recorder into r: counters add,
+// timer and distribution aggregates combine (counts and sums add,
+// min/max widen, histogram buckets add element-wise). Series and
+// events are deliberately not merged — they are bounded per-recorder
+// traces, and folding many per-job recorders into one server-wide
+// recorder would just thrash the bound. The serve layer uses Merge to
+// aggregate per-job recorders (which own the stage timers) into the
+// server recorder that /metrics renders. Nil receivers and nil or
+// empty snapshots are no-ops.
+func (r *Recorder) Merge(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, v := range s.Counters {
+		r.counters[k] += v
+	}
+	for k, v := range s.Timers {
+		if v.Count == 0 {
+			continue
+		}
+		t := r.timers[k]
+		if t == nil {
+			cp := v
+			r.timers[k] = &cp
+			continue
+		}
+		t.Count += v.Count
+		t.Total += v.Total
+		if v.Min < t.Min {
+			t.Min = v.Min
+		}
+		if v.Max > t.Max {
+			t.Max = v.Max
+		}
+		for i := range t.Buckets {
+			t.Buckets[i] += v.Buckets[i]
+		}
+	}
+	for k, v := range s.Dists {
+		if v.Count == 0 {
+			continue
+		}
+		d := r.dists[k]
+		if d == nil {
+			cp := v
+			r.dists[k] = &cp
+			continue
+		}
+		d.Count += v.Count
+		d.Sum += v.Sum
+		if v.Min < d.Min {
+			d.Min = v.Min
+		}
+		if v.Max > d.Max {
+			d.Max = v.Max
+		}
+		for i := range d.Buckets {
+			d.Buckets[i] += v.Buckets[i]
+		}
+	}
 }
 
 // JSON renders the snapshot as indented JSON with a trailing newline.

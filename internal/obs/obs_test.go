@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -70,6 +71,124 @@ func TestNilRecorderNoAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("nil recorder allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestWarmRecorderNoAllocs extends the zero-alloc contract to the
+// enabled steady state: once a counter, distribution, or timer key
+// exists, further recording — including histogram bucket folding —
+// must not allocate. The histogram is a fixed array inside the stats
+// struct precisely so this holds.
+func TestWarmRecorderNoAllocs(t *testing.T) {
+	r := New()
+	r.Add("synth/nodes", 1)
+	r.Observe("qoc/grape/iterations", 42)
+	r.Span("stage/zx").End()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Add("synth/nodes", 1)
+		r.Observe("qoc/grape/iterations", 42)
+		sp := r.Span("stage/zx")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm recorder allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	b := BucketBounds()
+	if len(b) != NumBuckets {
+		t.Fatalf("len(BucketBounds()) = %d, want %d", len(b), NumBuckets)
+	}
+	if b[0] != 1e-6 {
+		t.Fatalf("first bound = %g, want 1e-6", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != b[i-1]*4 {
+			t.Fatalf("bound %d = %g, want 4x previous %g", i, b[i], b[i-1])
+		}
+	}
+	// Mutating the returned slice must not corrupt the shared bounds.
+	b[0] = -1
+	if BucketBounds()[0] != 1e-6 {
+		t.Fatal("BucketBounds returned shared backing array")
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := New()
+	bounds := BucketBounds()
+	r.Observe("v", 0)             // below first bound -> bucket 0
+	r.Observe("v", bounds[0])     // exactly on a bound is <= -> bucket 0
+	r.Observe("v", bounds[3]*1.5) // between bounds 3 and 4 -> bucket 4
+	r.Observe("v", 1e12)          // beyond last bound -> overflow
+	r.Observe("v", math.NaN())    // NaN -> overflow, never dropped
+	d := r.Snapshot().Dists["v"]
+	if d.Buckets[0] != 2 || d.Buckets[4] != 1 || d.Buckets[NumBuckets] != 2 {
+		t.Fatalf("bucket placement: %v", d.Buckets)
+	}
+	if got := d.Buckets.Total(); got != d.Count {
+		t.Fatalf("bucket total %d != count %d", got, d.Count)
+	}
+
+	r.recordDuration("t", 3*time.Millisecond) // 3e-3 s -> first bound >= is 4.096e-3 (bucket 6)
+	tm := r.Snapshot().Timers["t"]
+	if tm.Buckets[6] != 1 {
+		t.Fatalf("timer bucket placement: %v", tm.Buckets)
+	}
+	if got := tm.Buckets.Total(); got != tm.Count {
+		t.Fatalf("timer bucket total %d != count %d", got, tm.Count)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Add("c", 2)
+	a.Observe("d", 1)
+	a.recordDuration("t", time.Millisecond)
+
+	b := New()
+	b.Add("c", 3)
+	b.Add("only-b", 1)
+	b.Observe("d", 100)
+	b.Observe("only-b-dist", 7)
+	b.recordDuration("t", time.Second)
+	b.recordDuration("only-b-timer", time.Microsecond)
+
+	a.Merge(b.Snapshot())
+	s := a.Snapshot()
+	if s.Counters["c"] != 5 || s.Counters["only-b"] != 1 {
+		t.Fatalf("merged counters: %+v", s.Counters)
+	}
+	d := s.Dists["d"]
+	if d.Count != 2 || d.Sum != 101 || d.Min != 1 || d.Max != 100 {
+		t.Fatalf("merged dist: %+v", d)
+	}
+	if got := d.Buckets.Total(); got != 2 {
+		t.Fatalf("merged dist buckets total %d, want 2", got)
+	}
+	tm := s.Timers["t"]
+	if tm.Count != 2 || tm.Total != time.Second+time.Millisecond ||
+		tm.Min != time.Millisecond || tm.Max != time.Second {
+		t.Fatalf("merged timer: %+v", tm)
+	}
+	if got := tm.Buckets.Total(); got != 2 {
+		t.Fatalf("merged timer buckets total %d, want 2", got)
+	}
+	if s.Timers["only-b-timer"].Count != 1 || s.Dists["only-b-dist"].Count != 1 {
+		t.Fatal("merge dropped keys absent from the receiver")
+	}
+
+	// Merging into or from nil is a no-op, not a panic.
+	var nilRec *Recorder
+	nilRec.Merge(b.Snapshot())
+	a.Merge(nil)
+
+	// Merge must fold a copy: later recording on b must not leak into a.
+	before := a.Snapshot().Counters["c"]
+	b.Add("c", 50)
+	if a.Snapshot().Counters["c"] != before {
+		t.Fatal("merge aliased the source snapshot")
 	}
 }
 

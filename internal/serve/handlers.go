@@ -164,11 +164,15 @@ type StoreTotals struct {
 	Corrupt        int64  `json:"corrupt"` // files skipped at startup
 }
 
-// QueueStats is the admission-control state in /v1/stats.
+// QueueStats is the admission-control state in /v1/stats. Len,
+// Inflight and AvgMS are also exported as gauges on /metrics
+// (epoc_serve_queue_depth, epoc_serve_inflight,
+// epoc_serve_avg_compile_ms).
 type QueueStats struct {
 	Workers  int     `json:"workers"`
 	Len      int     `json:"len"`
 	Cap      int     `json:"cap"`
+	Inflight int     `json:"inflight"`
 	AvgMS    float64 `json:"avg_compile_ms"`
 	Draining bool    `json:"draining"`
 }
@@ -179,18 +183,30 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/compile/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.routesMetrics()
 }
 
 // handleCompile admits a compile request and, unless async, blocks
 // until it finishes and writes the manifest envelope.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.rec.Add("serve/requests", 1)
-	// Mint the job ID first: it doubles as the trace ID when the caller
-	// does not supply one, so even a request rejected before admission
-	// carries a non-empty Epoc-Trace-Id for log correlation.
-	id := newID()
-	traceID := requestTraceID(r)
-	if traceID == "" {
+	// Trace-ID contract: a well-formed inbound ID is honored; otherwise
+	// the job ID doubles as the trace ID, so even a request rejected
+	// before admission carries a non-empty Epoc-Trace-Id. The access-log
+	// middleware pre-stamps the header (the inbound ID, or a fresh
+	// newID() when none usable); when the stamp is the middleware's own
+	// mint we adopt it as the job ID so the access record, the job and
+	// the response all agree without violating the job-ID fallback.
+	inbound := requestTraceID(r)
+	preset := w.Header().Get(TraceIDHeader)
+	var id, traceID string
+	switch {
+	case preset != "" && preset != inbound:
+		id, traceID = preset, preset
+	case inbound != "":
+		id, traceID = newID(), inbound
+	default:
+		id = newID()
 		traceID = id
 	}
 	w.Header().Set(TraceIDHeader, traceID)
@@ -242,7 +258,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case <-j.done:
-		s.writeJobResponse(w, j)
+		s.writeJobResponse(w, r, j)
 	case <-r.Context().Done():
 		// Client gone: cancel the compile (queued jobs are skipped at
 		// dequeue, running ones abort at the next pipeline checkpoint).
@@ -261,7 +277,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(TraceIDHeader, j.traceID)
-	s.writeJobResponse(w, j)
+	s.writeJobResponse(w, r, j)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -321,6 +337,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Workers:  s.cfg.Workers,
 			Len:      len(s.queue),
 			Cap:      s.cfg.QueueDepth,
+			Inflight: int(s.inflight.Load()),
 			AvgMS:    avg,
 			Draining: draining,
 		},
@@ -374,6 +391,12 @@ func (s *Server) prepareJob(r *http.Request, req *CompileRequest, id, traceID st
 	opts.Obs = rec
 	tracer := trace.New(s.cfg.Clock)
 	opts.Trace = tracer
+	// The job logger carries the job and trace IDs on every record it
+	// emits — its own lifecycle records and, via opts.Log, the core
+	// pipeline's stage-boundary records — so one grep by trace_id
+	// stitches the access log, the job log and the stage log together.
+	jlog := s.log.With("job", id, "trace_id", traceID)
+	opts.Log = jlog
 
 	j := &job{
 		id:       id,
@@ -388,6 +411,7 @@ func (s *Server) prepareJob(r *http.Request, req *CompileRequest, id, traceID st
 		rec:      rec,
 		tracer:   tracer,
 		events:   newEventLog(),
+		log:      jlog,
 		state:    statusQueued,
 		done:     make(chan struct{}),
 	}
@@ -479,8 +503,11 @@ func (s *Server) buildOptions(ro *RequestOptions, circ *circuit.Circuit) (core.O
 // writeJobResponse renders a job's envelope at whatever state it is
 // in. Failures keep their original HTTP status so a poll of a failed
 // job sees the same code the synchronous caller did.
-func (s *Server) writeJobResponse(w http.ResponseWriter, j *job) {
+func (s *Server) writeJobResponse(w http.ResponseWriter, r *http.Request, j *job) {
 	state, res, m, apiErr, queueMS, compileMS := j.snapshotState()
+	// Enrich the access-log record with the queue-wait vs compile-time
+	// split the HTTP layer cannot see.
+	jobAccessInfo(r.Context()).setJob(queueMS, compileMS, res != nil && res.Degraded)
 	resp := &CompileResponse{
 		ID:        j.id,
 		TraceID:   j.traceID,

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"epoc/internal/metrics"
+)
+
+// ctxKey namespaces this package's context values.
+type ctxKey int
+
+const accessInfoKey ctxKey = iota
+
+// accessInfo is the per-request enrichment slot the access-log
+// middleware plants in the request context: handlers that know more
+// than the HTTP layer (the compile path's queue-wait vs compile-time
+// split and degrade flag) fill it, and the final access record carries
+// it. Guarded by a mutex out of caution — handlers and the middleware
+// run on one goroutine, but the events endpoint hands the writer to
+// http.Flusher paths worth being defensive about.
+type accessInfo struct {
+	mu        sync.Mutex
+	hasJob    bool
+	queueMS   float64
+	compileMS float64
+	degraded  bool
+}
+
+func (a *accessInfo) setJob(queueMS, compileMS float64, degraded bool) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.hasJob = true
+	a.queueMS = queueMS
+	a.compileMS = compileMS
+	a.degraded = degraded
+	a.mu.Unlock()
+}
+
+func (a *accessInfo) read() (hasJob bool, queueMS, compileMS float64, degraded bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hasJob, a.queueMS, a.compileMS, a.degraded
+}
+
+// jobAccessInfo returns the request's enrichment slot, nil when the
+// handler runs outside the middleware (unit tests hitting handlers
+// directly).
+func jobAccessInfo(ctx context.Context) *accessInfo {
+	info, _ := ctx.Value(accessInfoKey).(*accessInfo)
+	return info
+}
+
+// statusWriter captures the response status and byte count for the
+// access log. It forwards Flush so the events endpoint's streaming
+// contract survives the wrapping.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withAccessLog wraps the mux: it stamps Epoc-Trace-Id on every
+// response before the handler runs (the sanitized inbound ID, or a
+// fresh one), and — when logging is configured — emits one structured
+// access record per request after the handler returns, carrying the
+// same trace ID the response header carries plus the compile path's
+// queue/compile split when a job ran.
+func (s *Server) withAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if w.Header().Get(TraceIDHeader) == "" {
+			tid := requestTraceID(r)
+			if tid == "" {
+				tid = newID()
+			}
+			w.Header().Set(TraceIDHeader, tid)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		info := &accessInfo{}
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), accessInfoKey, info)))
+		if !s.log.Enabled() {
+			return
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		args := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"bytes", sw.bytes,
+			// Handlers may refine the trace ID (status polls adopt the
+			// job's); read the final header so log and response agree.
+			"trace_id", sw.Header().Get(TraceIDHeader),
+			"elapsed_ms", float64(time.Since(start).Nanoseconds()) / 1e6,
+		}
+		if hasJob, queueMS, compileMS, degraded := info.read(); hasJob {
+			args = append(args,
+				"queue_ms", queueMS,
+				"compile_ms", compileMS,
+				"degraded", degraded)
+		}
+		s.log.Info("request", args...)
+	})
+}
+
+// routesMetrics mounts the Prometheus exposition. Split from routes()
+// only to keep the metrics wiring (snapshot source + gauge source) in
+// one file with the middleware.
+func (s *Server) routesMetrics() {
+	s.mux.Handle("GET /metrics", metrics.Handler(s.rec.Snapshot, s.gauges))
+}

@@ -16,6 +16,7 @@
 //	GET  /v1/compile/{id}/events progress stream (JSON lines)
 //	GET  /v1/healthz             liveness + drain state
 //	GET  /v1/stats               server counters and cache sizes
+//	GET  /metrics                Prometheus exposition (internal/metrics)
 //	GET  /debug/pprof, /debug/vars  (internal/debugsrv, same mux)
 //
 // Admission control is a bounded queue in front of a fixed worker
@@ -31,7 +32,9 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"epoc/internal/benchcirc"
@@ -40,6 +43,8 @@ import (
 	"epoc/internal/debugsrv"
 	"epoc/internal/faultclock"
 	"epoc/internal/hardware"
+	"epoc/internal/logx"
+	"epoc/internal/metrics"
 	"epoc/internal/obs"
 	"epoc/internal/pulse"
 	"epoc/internal/report"
@@ -96,7 +101,18 @@ type Config struct {
 
 	// Debug mounts /debug/pprof and /debug/vars on the server's mux
 	// with the server-wide recorder behind the "epoc" expvar key.
+	// (GET /metrics is always mounted, debug or not: scraping is a
+	// production concern, profiling is not.)
 	Debug bool
+
+	// Log, when non-nil, enables structured JSON logging: a per-request
+	// access log line (method, path, status, bytes, trace_id, and for
+	// compile requests the queue-wait vs compile-time split), job
+	// lifecycle records, and — threaded into core.Options.Log — the
+	// pipeline's stage-boundary records. Every record of one request
+	// carries the trace_id the response's Epoc-Trace-Id header carries.
+	// Nil disables logging entirely.
+	Log *logx.Logger
 
 	// Clock injects the time source for deadlines, queue-wait
 	// accounting and Retry-After estimates; nil means the real clock.
@@ -149,6 +165,9 @@ type Server struct {
 	rec   *obs.Recorder  // server-wide counters: serve/*, plus expvar export
 
 	queue chan *job
+	log   *logx.Logger // nil-safe structured logging (Config.Log)
+
+	inflight atomic.Int64 // jobs a worker is actively compiling
 
 	mu       sync.Mutex // guards draining, jobs, finished, avgMS
 	draining bool
@@ -181,6 +200,7 @@ func New(cfg Config) (*Server, error) {
 		lib:     pulse.NewLibrary(true),
 		rec:     obs.New(),
 		queue:   make(chan *job, cfg.QueueDepth),
+		log:     cfg.Log,
 		jobs:    map[string]*job{},
 		started: time.Now(),
 		compile: core.CompileContext,
@@ -219,9 +239,34 @@ func (s *Server) defaultOptions() core.Options {
 	return opts
 }
 
-// Handler returns the server's mux: the /v1 API plus, when
-// Config.Debug is set, the /debug endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's handler: the /v1 API and /metrics
+// (plus, when Config.Debug is set, the /debug endpoints), wrapped in
+// the access-log middleware that stamps Epoc-Trace-Id on every
+// response and — with Config.Log set — emits one structured access
+// record per request.
+func (s *Server) Handler() http.Handler { return s.withAccessLog(s.mux) }
+
+// gauges reads the instantaneous admission-control state for the
+// Prometheus exposition: the queue-pressure signals that counters
+// alone (429s after the fact) cannot show.
+func (s *Server) gauges() []metrics.Gauge {
+	s.mu.Lock()
+	avg := s.avgMS
+	draining := s.draining
+	s.mu.Unlock()
+	drainingVal := 0.0
+	if draining {
+		drainingVal = 1
+	}
+	return []metrics.Gauge{
+		{Name: "epoc_serve_queue_depth", Help: "Jobs waiting in the admission queue.", Value: float64(len(s.queue))},
+		{Name: "epoc_serve_queue_capacity", Help: "Admission queue capacity (Config.QueueDepth).", Value: float64(s.cfg.QueueDepth)},
+		{Name: "epoc_serve_inflight", Help: "Jobs a worker is actively compiling.", Value: float64(s.inflight.Load())},
+		{Name: "epoc_serve_workers", Help: "Compile worker pool size.", Value: float64(s.cfg.Workers)},
+		{Name: "epoc_serve_avg_compile_ms", Help: "EWMA of compile wall time in milliseconds (the Retry-After basis).", Value: avg},
+		{Name: "epoc_serve_draining", Help: "1 while Shutdown drains, else 0.", Value: drainingVal},
+	}
+}
 
 func (s *Server) now() time.Time {
 	if s.cfg.Clock != nil {
@@ -327,17 +372,27 @@ func (s *Server) worker() {
 // compile under the derived context and record the outcome.
 func (s *Server) runJob(j *job) {
 	defer s.finish(j)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	// Fold the per-job recorder — which owns the stage timers and cache
+	// counters — into the server-wide recorder on every exit path, so
+	// /metrics aggregates all requests.
+	defer func() { s.rec.Merge(j.rec.Snapshot()) }()
 	start := s.now()
 	j.setQueueMS(start)
+	queueMS := float64(start.Sub(j.admitted).Nanoseconds()) / 1e6
+	s.rec.Observe("serve/queue_ms", queueMS)
 
 	if j.aborted() {
 		s.rec.Add("serve/canceled", 1)
+		j.log.Warn("job canceled", "reason", "client_gone_queued", "queue_ms", queueMS)
 		j.complete(statusCanceled, nil, nil, errClientGone)
 		return
 	}
 	remaining := j.deadline.Sub(start)
 	if remaining <= 0 {
 		s.rec.Add("serve/deadline_expired_queued", 1)
+		j.log.Warn("job failed", "reason", "deadline_expired_queued", "queue_ms", queueMS)
 		j.complete(statusFailed, nil, nil, &apiError{
 			Status: http.StatusGatewayTimeout, Code: "deadline_exceeded",
 			Message: "deadline expired while the request was queued",
@@ -370,6 +425,14 @@ func (s *Server) runJob(j *job) {
 	j.events.append(obs.Event{Time: start, Stage: "serve", Msg: fmt.Sprintf(
 		"compiling circuit=%s qubits=%d gates=%d strategy=%s budget=%s",
 		j.circName, j.circ.NumQubits, j.circ.Len(), opts.Strategy, opts.Budgets.Total)})
+	if j.log.Enabled() {
+		j.log.Info("job start",
+			"circuit", j.circName,
+			"qubits", j.circ.NumQubits,
+			"gates", j.circ.Len(),
+			"strategy", string(opts.Strategy),
+			"queue_ms", queueMS)
+	}
 
 	res, err := s.tracedCompile(ctx, j, opts)
 	elapsed := s.now().Sub(start)
@@ -381,6 +444,7 @@ func (s *Server) runJob(j *job) {
 	if err != nil {
 		if j.aborted() || ctx.Err() != nil {
 			s.rec.Add("serve/canceled", 1)
+			j.log.Warn("job canceled", "queue_ms", queueMS, "compile_ms", ms, "err", err.Error())
 			j.complete(statusCanceled, nil, nil, &apiError{
 				Status: http.StatusGatewayTimeout, Code: "canceled",
 				Message: fmt.Sprintf("compile canceled: %v", err),
@@ -388,6 +452,7 @@ func (s *Server) runJob(j *job) {
 			return
 		}
 		s.rec.Add("serve/failed", 1)
+		j.log.Error("job failed", "queue_ms", queueMS, "compile_ms", ms, "err", err.Error())
 		j.complete(statusFailed, nil, nil, &apiError{
 			Status: http.StatusInternalServerError, Code: "compile_failed",
 			Message: err.Error(),
@@ -397,6 +462,15 @@ func (s *Server) runJob(j *job) {
 	s.rec.Add("serve/completed", 1)
 	if res.Degraded {
 		s.rec.Add("serve/degraded", 1)
+	}
+	if j.log.Enabled() {
+		j.log.Info("job done",
+			"queue_ms", queueMS,
+			"compile_ms", ms,
+			"latency_ns", res.Latency,
+			"fidelity", res.Fidelity,
+			"degraded", res.Degraded,
+			"degrade_reasons", strings.Join(res.DegradeReasons, ","))
 	}
 	m := s.buildManifest(j, res)
 	j.complete(statusDone, res, m, nil)
@@ -524,6 +598,7 @@ type job struct {
 	rec    *obs.Recorder
 	tracer *trace.Tracer
 	events *eventLog
+	log    *logx.Logger // request-scoped: carries job + trace_id attrs
 
 	mu        sync.Mutex
 	state     string
